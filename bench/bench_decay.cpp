@@ -1,0 +1,48 @@
+// E6 — Lemma 3.1: after one round of Decay, a listener with >= 1
+// participating neighbour receives with constant probability, UNIFORMLY in
+// the number of participants (that is the whole point of the halving
+// densities). We sweep participant counts over four decades.
+#include "common.hpp"
+#include "radio/network.hpp"
+#include "schedule/decay.hpp"
+
+using namespace radiocast;
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const bool quick = cli.get_bool("quick", false);
+  const std::uint64_t seed = cli.get_uint("seed", 6);
+  const int trials = static_cast<int>(cli.get_uint("trials",
+                                                   quick ? 400 : 3000));
+  util::Rng rng(seed);
+
+  util::Table t({"participants", "P[received]", "ci95", "steps/round"});
+  double min_p = 1.0;
+  for (std::uint32_t k = 1; k <= (quick ? 256u : 1024u); k *= 2) {
+    const graph::Graph g = graph::star(k + 1);
+    radio::Network net(g);
+    util::OnlineStats succ;
+    std::vector<std::uint8_t> part(g.node_count(), 1);
+    part[0] = 0;
+    std::vector<radio::Payload> pay(g.node_count(), 9);
+    for (int trial = 0; trial < trials; ++trial) {
+      std::vector<radio::Payload> best(g.node_count(), 9);
+      best[0] = radio::kNoPayload;
+      schedule::decay_round(net, part, pay, best, rng);
+      succ.add(best[0] == 9 ? 1.0 : 0.0);
+    }
+    min_p = std::min(min_p, succ.mean());
+    t.row()
+        .add(std::uint64_t{k})
+        .add(succ.mean(), 3)
+        .add(succ.ci95_halfwidth(), 3)
+        .add(std::uint64_t{schedule::decay_round_length(g.node_count())});
+  }
+  bench::emit(t, "E6: Lemma 3.1 Decay success probability vs participants",
+              "e6_decay");
+  std::cout << "minimum success probability over all participant counts: "
+            << util::format_double(min_p, 3)
+            << " (Lemma 3.1: a positive constant; classic analysis gives "
+               "~1/(2e) ~ 0.18)\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// E5 — Lemma 2.1: Partition(beta) has strong diameter O(log n / beta) whp
+// and cuts each edge with probability O(beta).
+//
+// Sweep beta over two decades on three families; report the cut fraction
+// normalised by beta (must be O(1)) and strong-diameter quantiles
+// normalised by log n / beta (must be O(1)).
+#include "cluster/exponential_shifts.hpp"
+#include "cluster/partition_stats.hpp"
+#include "common.hpp"
+#include "util/math.hpp"
+
+using namespace radiocast;
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const bool quick = cli.get_bool("quick", false);
+  const std::uint64_t seed = cli.get_uint("seed", 5);
+  const int reps = static_cast<int>(cli.get_uint("reps", quick ? 2 : 6));
+  util::Rng rng(seed);
+
+  std::vector<bench::Instance> instances;
+  instances.push_back(bench::make_grid_instance(quick ? 40 : 80,
+                                                quick ? 40 : 80));
+  if (!quick) {
+    instances.push_back(bench::make_rgg_instance(4000, 0.03, rng));
+    instances.push_back(bench::make_instance(4000, 400));
+  }
+
+  const std::vector<double> betas{0.02, 0.05, 0.1, 0.2, 0.4};
+
+  for (const auto& inst : instances) {
+    const double logn = util::safe_log2(inst.g.node_count());
+    util::Table t({"beta", "cut frac", "cut/beta", "diam p50", "diam p95",
+                   "diam max", "max/(logn/beta)", "#clusters"});
+    for (const double beta : betas) {
+      util::OnlineStats cut;
+      util::Sample diams;
+      util::OnlineStats clusters;
+      for (int r = 0; r < reps; ++r) {
+        const auto p = cluster::partition(inst.g, beta, rng);
+        cut.add(cluster::cut_fraction(inst.g, p));
+        const auto infos = cluster::cluster_infos(inst.g, p);
+        clusters.add(static_cast<double>(infos.size()));
+        for (const auto& info : infos) {
+          diams.add(static_cast<double>(
+              std::max(info.strong_diameter_lb, info.strong_radius)));
+        }
+      }
+      t.row()
+          .add(beta, 3)
+          .add(cut.mean(), 4)
+          .add(cut.mean() / beta, 3)
+          .add(diams.quantile(0.5), 1)
+          .add(diams.quantile(0.95), 1)
+          .add(diams.max(), 1)
+          .add(diams.max() / (logn / beta), 3)
+          .add(clusters.mean(), 0);
+    }
+    bench::emit(t, "E5: Lemma 2.1 partition properties on " + inst.name,
+                "e5_partition_" + std::to_string(inst.g.node_count()));
+  }
+  return 0;
+}

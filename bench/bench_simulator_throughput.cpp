@@ -1,0 +1,107 @@
+// Microbenchmarks (google-benchmark) of the simulation substrate itself:
+// the dense and sparse collision-resolution kernels, Partition(beta), BFS,
+// and TreeSchedule construction. These are engineering measurements (not a
+// paper experiment): they justify the round budgets the E1-E11 experiments
+// can afford.
+#include <benchmark/benchmark.h>
+
+#include "cluster/exponential_shifts.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "radio/network.hpp"
+#include "schedule/bfs_schedule.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace radiocast;
+
+const graph::Graph& test_graph() {
+  static const graph::Graph g = [] {
+    util::Rng rng(1);
+    return graph::random_geometric(20000, 0.012, rng);
+  }();
+  return g;
+}
+
+void BM_NetworkStepDense(benchmark::State& state) {
+  const graph::Graph& g = test_graph();
+  radio::Network net(g);
+  util::Rng rng(2);
+  const graph::NodeId n = g.node_count();
+  std::vector<std::uint8_t> tx(n, 0);
+  std::vector<radio::Payload> pay(n, 1);
+  const double density = 1e-2 * static_cast<double>(state.range(0));
+  for (graph::NodeId v = 0; v < n; ++v) tx[v] = rng.bernoulli(density);
+  radio::RoundOutcome out;
+  for (auto _ : state) {
+    net.step(tx, pay, out);
+    benchmark::DoNotOptimize(out.delivered_count);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_NetworkStepDense)->Arg(1)->Arg(10)->Arg(50);
+
+void BM_NetworkStepSparse(benchmark::State& state) {
+  const graph::Graph& g = test_graph();
+  radio::Network net(g);
+  util::Rng rng(3);
+  const graph::NodeId n = g.node_count();
+  std::vector<graph::NodeId> tx_nodes;
+  std::vector<radio::Payload> tx_pay;
+  const double density = 1e-2 * static_cast<double>(state.range(0));
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (rng.bernoulli(density)) {
+      tx_nodes.push_back(v);
+      tx_pay.push_back(1);
+    }
+  }
+  radio::Network::SparseOutcome out;
+  for (auto _ : state) {
+    net.step_sparse(tx_nodes, tx_pay, out);
+    benchmark::DoNotOptimize(out.deliveries.size());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          std::max<std::size_t>(1, tx_nodes.size()));
+}
+BENCHMARK(BM_NetworkStepSparse)->Arg(1)->Arg(10)->Arg(50);
+
+void BM_PartitionBeta(benchmark::State& state) {
+  const graph::Graph& g = test_graph();
+  util::Rng rng(4);
+  const double beta = 1e-3 * static_cast<double>(state.range(0));
+  for (auto _ : state) {
+    auto p = cluster::partition(g, beta, rng);
+    benchmark::DoNotOptimize(p.center.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.node_count());
+}
+BENCHMARK(BM_PartitionBeta)->Arg(10)->Arg(100)->Arg(500);
+
+void BM_Bfs(benchmark::State& state) {
+  const graph::Graph& g = test_graph();
+  for (auto _ : state) {
+    auto d = graph::bfs_distances(g, 0);
+    benchmark::DoNotOptimize(d.data());
+  }
+  state.SetItemsProcessed(state.iterations() * g.node_count());
+}
+BENCHMARK(BM_Bfs);
+
+void BM_TreeScheduleBuild(benchmark::State& state) {
+  const graph::Graph& g = test_graph();
+  util::Rng rng(5);
+  const auto p = cluster::partition(g, 0.2, rng);
+  const bool colored = state.range(0) != 0;
+  for (auto _ : state) {
+    schedule::TreeSchedule s(g, p,
+                             colored ? schedule::ScheduleMode::kColored
+                                     : schedule::ScheduleMode::kPipelined);
+    benchmark::DoNotOptimize(s.period());
+  }
+}
+BENCHMARK(BM_TreeScheduleBuild)->Arg(0)->Arg(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

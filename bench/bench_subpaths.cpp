@@ -1,0 +1,85 @@
+// E8 — Lemmas 4.3 / 4.4: under the coarse clustering (beta = D^-0.5),
+//  * a node sees >= 2 distinct coarse clusters within distance D^0.11 with
+//    probability <= ~3 D^-0.39,
+//  * a length-D^0.12 subpath is "bad" with probability <= D^-0.26,
+//  * a shortest path has O(D^0.63) bad subpaths whp.
+// We measure all three on the largest D we can simulate and report the
+// measured/predicted ratios (constants are absorbed; the shape — decay
+// with D — is the claim under test).
+#include <cmath>
+
+#include "cluster/exponential_shifts.hpp"
+#include "cluster/partition_stats.hpp"
+#include "common.hpp"
+#include "core/theory.hpp"
+#include "util/math.hpp"
+
+using namespace radiocast;
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const bool quick = cli.get_bool("quick", false);
+  const std::uint64_t seed = cli.get_uint("seed", 8);
+  const int reps = static_cast<int>(cli.get_uint("reps", quick ? 2 : 5));
+  const int path_samples = static_cast<int>(cli.get_uint("paths", 8));
+  util::Rng rng(seed);
+
+  std::vector<bench::Instance> instances;
+  instances.push_back(bench::make_instance(quick ? 2048 : 4096,
+                                           quick ? 256 : 512));
+  if (!quick) instances.push_back(bench::make_instance(8192, 1024));
+
+  util::Table t({"D", "sub len D^.12", "radius D^.11", "P[bad] meas",
+                 "P[bad] pred D^-.26", "bad/path meas", "bad/path pred D^.63",
+                 "multi-cluster P meas", "pred 3D^-.39"});
+  for (const auto& inst : instances) {
+    const double d = inst.diameter;
+    const double beta = util::fpow(d, -0.5);
+    const auto sub_len = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(std::round(util::fpow(d, 0.12))));
+    const auto radius = std::max<std::uint32_t>(
+        1, static_cast<std::uint32_t>(std::round(util::fpow(d, 0.11))));
+
+    util::OnlineStats badness, bad_per_path, multi;
+    for (int r = 0; r < reps; ++r) {
+      const auto p = cluster::partition(inst.g, beta, rng);
+      // Sample canonical shortest paths between random endpoint pairs.
+      for (int s = 0; s < path_samples; ++s) {
+        const graph::NodeId u =
+            static_cast<graph::NodeId>(rng.uniform(inst.g.node_count()));
+        const graph::NodeId v =
+            static_cast<graph::NodeId>(rng.uniform(inst.g.node_count()));
+        if (u == v) continue;
+        const auto path = graph::shortest_path(inst.g, u, v);
+        if (path.size() < sub_len) continue;
+        const auto b =
+            cluster::subpath_badness(inst.g, p, path, sub_len, radius);
+        if (b.total_subpaths > 0) {
+          badness.add(static_cast<double>(b.bad_subpaths) /
+                      b.total_subpaths);
+          bad_per_path.add(static_cast<double>(b.bad_subpaths));
+        }
+      }
+      // Lemma 4.3 quantity at a sample of nodes.
+      for (int s = 0; s < 32; ++s) {
+        const graph::NodeId v =
+            static_cast<graph::NodeId>(rng.uniform(inst.g.node_count()));
+        multi.add(cluster::clusters_within(inst.g, p, v, radius) >= 2 ? 1.0
+                                                                      : 0.0);
+      }
+    }
+    t.row()
+        .add(std::uint64_t{inst.diameter})
+        .add(std::uint64_t{sub_len})
+        .add(std::uint64_t{radius})
+        .add(badness.mean(), 4)
+        .add(core::theory::bound_subpath_badness(inst.diameter), 4)
+        .add(bad_per_path.mean(), 2)
+        .add(core::theory::bound_bad_subpaths(inst.diameter), 2)
+        .add(multi.mean(), 4)
+        .add(3.0 * util::fpow(d, -0.39), 4);
+  }
+  bench::emit(t, "E8: Lemma 4.3/4.4 coarse-boundary statistics",
+              "e8_subpaths");
+  return 0;
+}

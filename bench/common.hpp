@@ -1,0 +1,71 @@
+// Shared helpers for the experiment binaries (bench/).
+//
+// Every binary prints aligned tables to stdout and also writes CSV files
+// into ./bench_out/ (created on demand) so results can be re-plotted.
+// All binaries accept --quick (smaller sweeps) and --seed.
+#pragma once
+
+#include <sys/stat.h>
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace radiocast::bench {
+
+inline void ensure_outdir() { ::mkdir("bench_out", 0755); }
+
+inline void emit(const util::Table& t, const std::string& title,
+                 const std::string& csv_name) {
+  t.print(std::cout, title);
+  ensure_outdir();
+  const std::string path = "bench_out/" + csv_name + ".csv";
+  if (t.write_csv(path)) {
+    std::cout << "[csv] " << path << "\n";
+  }
+}
+
+/// A graph together with its measured diameter.
+struct Instance {
+  graph::Graph g;
+  std::uint32_t diameter = 0;
+  std::string name;
+};
+
+/// n-node, roughly-D-diameter instance from the path-of-cliques family —
+/// the "D polynomial in n" regime the paper targets.
+inline Instance make_instance(graph::NodeId n, graph::NodeId d_target) {
+  Instance inst;
+  inst.g = graph::diameter_controlled(n, d_target);
+  inst.diameter = graph::diameter_double_sweep(inst.g);
+  inst.name = "cliquepath(n=" + std::to_string(n) +
+              ",D=" + std::to_string(inst.diameter) + ")";
+  return inst;
+}
+
+inline Instance make_grid_instance(graph::NodeId rows, graph::NodeId cols) {
+  Instance inst;
+  inst.g = graph::grid(rows, cols);
+  inst.diameter = rows + cols - 2;
+  inst.name = "grid(" + std::to_string(rows) + "x" + std::to_string(cols) + ")";
+  return inst;
+}
+
+inline Instance make_rgg_instance(graph::NodeId n, double radius,
+                                  util::Rng& rng) {
+  Instance inst;
+  inst.g = graph::random_geometric(n, radius, rng);
+  inst.diameter = graph::diameter_double_sweep(inst.g);
+  inst.name = "rgg(n=" + std::to_string(n) + ",D=" +
+              std::to_string(inst.diameter) + ")";
+  return inst;
+}
+
+}  // namespace radiocast::bench

@@ -1,0 +1,54 @@
+// Scenario: bootstrap coordination in a freshly deployed ad-hoc network.
+//
+// Drones are scattered over an area with no infrastructure and no assigned
+// coordinator. Before any multi-message protocol (BFS trees, routing,
+// aggregation) can start, the network must elect a leader. We run
+// Algorithm 6 (candidates w.p. Theta(log n/n) + Compete) and compare
+// against the classical binary-search reduction, demonstrating the paper's
+// headline: leader election at broadcast price.
+//
+//   ./adhoc_leader_election [--n=1500] [--radius=0.06] [--seed=3] [--runs=3]
+#include <cstdio>
+
+#include "baselines/le_binary_search.hpp"
+#include "core/radiocast.hpp"
+
+using namespace radiocast;
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  cli.describe("n", "number of drones (default 1500)")
+      .describe("radius", "radio range in the unit square (default 0.06)")
+      .describe("seed", "rng seed (default 3)")
+      .describe("runs", "independent elections to run (default 3)");
+  const auto n = static_cast<graph::NodeId>(cli.get_uint("n", 1500));
+  const double radius = cli.get_double("radius", 0.06);
+  const std::uint64_t seed = cli.get_uint("seed", 3);
+  const int runs = static_cast<int>(cli.get_uint("runs", 3));
+
+  util::Rng rng(seed);
+  const graph::Graph g = graph::random_geometric(n, radius, rng);
+  const std::uint32_t d = std::max(2u, graph::diameter_double_sweep(g));
+  std::printf("swarm: %s, D>=%u\n\n", g.summary().c_str(), d);
+
+  for (int run = 0; run < runs; ++run) {
+    const std::uint64_t s = util::mix_seed(seed, run);
+    const auto le = core::elect_leader(g, d, core::LeaderElectionParams{}, s);
+    const auto bc = core::broadcast(g, d, 0, 1, core::CompeteParams{}, s);
+    const auto ble =
+        baselines::binary_search_leader_election(g, d, {}, s);
+    std::printf(
+        "run %d: CD election -> node %-5u in %7llu rounds "
+        "(broadcast alone: %7llu; binary-search LE: %8llu rounds)\n",
+        run, le.leader, static_cast<unsigned long long>(le.rounds),
+        static_cast<unsigned long long>(bc.rounds),
+        static_cast<unsigned long long>(ble.rounds));
+    if (!le.success || !ble.success) {
+      std::printf("run %d: FAILURE (agreement not reached)\n", run);
+      return 1;
+    }
+  }
+  std::printf("\nLE ~ broadcast time: the paper's Theorem 5.2 (previously LE "
+              "always cost strictly more).\n");
+  return 0;
+}

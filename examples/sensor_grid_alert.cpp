@@ -1,0 +1,62 @@
+// Scenario: an emergency alert in a city-scale sensor grid.
+//
+// A metropolitan sensor deployment is laid out as a (sparse, large-
+// diameter) grid — the regime where the paper's O(D log n / log D)
+// broadcast shines over the classical Decay algorithms, because D is
+// polynomial in n. A sensor at one corner detects an event and must alert
+// the whole network. We race the Czumaj-Davies broadcast against the
+// BGI and CR/KP baselines on the same topology and seed, and show the
+// per-hop cost of each.
+//
+//   ./sensor_grid_alert [--rows=40] [--cols=100] [--seed=7]
+#include <cmath>
+#include <cstdio>
+
+#include "baselines/decay_broadcast.hpp"
+#include "core/radiocast.hpp"
+
+using namespace radiocast;
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  cli.describe("rows", "grid rows (default 40)")
+      .describe("cols", "grid cols (default 100)")
+      .describe("seed", "rng seed (default 7)");
+  const auto rows = static_cast<graph::NodeId>(cli.get_uint("rows", 40));
+  const auto cols = static_cast<graph::NodeId>(cli.get_uint("cols", 100));
+  const std::uint64_t seed = cli.get_uint("seed", 7);
+
+  const graph::Graph g = graph::grid(rows, cols);
+  const std::uint32_t d = rows + cols - 2;
+  std::printf("sensor grid %ux%u: %s, D=%u (D ~ n^%.2f)\n", rows, cols,
+              g.summary().c_str(), d,
+              std::log2(double(d)) / std::log2(double(g.node_count())));
+
+  const graph::NodeId detector = 0;  // corner sensor sees the event
+  const radio::Payload alert = 911;
+
+  const auto cd = core::broadcast(g, d, detector, alert,
+                                  core::CompeteParams{}, seed);
+  const auto bgi = baselines::decay_broadcast(
+      g, d, {{detector, alert}}, baselines::bgi_params(g.node_count()), seed);
+  const auto cr = baselines::decay_broadcast(
+      g, d, {{detector, alert}},
+      baselines::cr_params(g.node_count(), d), seed);
+
+  std::printf("\n  algorithm            rounds    rounds/hop   informed\n");
+  std::printf("  Czumaj-Davies      %8llu    %8.2f    %u/%u\n",
+              static_cast<unsigned long long>(cd.rounds),
+              double(cd.rounds) / d, cd.informed, g.node_count());
+  std::printf("  BGI Decay          %8llu    %8.2f    %u/%u\n",
+              static_cast<unsigned long long>(bgi.rounds),
+              double(bgi.rounds) / d, bgi.informed, g.node_count());
+  std::printf("  CR/KP Decay        %8llu    %8.2f    %u/%u\n",
+              static_cast<unsigned long long>(cr.rounds),
+              double(cr.rounds) / d, cr.informed, g.node_count());
+  std::printf("\n  (theory per-hop: CD ~ log n/log D = %.2f, BGI ~ log n = "
+              "%.2f, CR ~ log(n/D) = %.2f)\n",
+              util::log_ratio(g.node_count(), d),
+              util::safe_log2(g.node_count()),
+              std::log2(std::max(2.0, double(g.node_count()) / d)));
+  return cd.success && bgi.success && cr.success ? 0 : 1;
+}

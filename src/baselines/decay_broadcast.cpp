@@ -1,0 +1,140 @@
+#include "baselines/decay_broadcast.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "radio/network.hpp"
+#include "schedule/decay.hpp"
+#include "util/math.hpp"
+#include "util/rng.hpp"
+
+namespace radiocast::baselines {
+
+DecayBroadcastParams bgi_params(std::uint32_t n) {
+  DecayBroadcastParams p;
+  p.cycle_depth = schedule::decay_round_length(n);
+  p.full_cycle_every = 0;
+  return p;
+}
+
+DecayBroadcastParams cr_params(std::uint32_t n, std::uint32_t diameter) {
+  DecayBroadcastParams p;
+  const double ratio =
+      std::max(2.0, static_cast<double>(n) /
+                        static_cast<double>(std::max<std::uint32_t>(1, diameter)));
+  p.cycle_depth = static_cast<std::uint32_t>(std::ceil(std::log2(ratio))) + 2;
+  p.cycle_depth = std::min(p.cycle_depth, schedule::decay_round_length(n));
+  p.full_cycle_every = 8;  // periodic full-depth cycle for congested spots
+  return p;
+}
+
+DecayBroadcastResult decay_broadcast(const graph::Graph& g,
+                                     std::uint32_t diameter,
+                                     const std::vector<BroadcastSource>& src,
+                                     const DecayBroadcastParams& params,
+                                     std::uint64_t seed) {
+  const graph::NodeId n = g.node_count();
+  if (n == 0) throw std::invalid_argument("decay_broadcast: empty graph");
+  DecayBroadcastResult out;
+  out.best.assign(n, radio::kNoPayload);
+  for (const auto& s : src) {
+    if (s.node >= n) throw std::out_of_range("decay_broadcast: source OOR");
+    if (out.best[s.node] == radio::kNoPayload || s.value > out.best[s.node]) {
+      out.best[s.node] = s.value;
+    }
+    if (out.winner == radio::kNoPayload || s.value > out.winner) {
+      out.winner = s.value;
+    }
+  }
+  if (src.empty()) {
+    out.success = true;
+    return out;
+  }
+
+  const std::uint32_t full_depth = schedule::decay_round_length(n);
+  const std::uint32_t depth = params.cycle_depth == 0
+                                  ? full_depth
+                                  : std::max<std::uint32_t>(1, params.cycle_depth);
+  (void)diameter;
+
+  radio::Network net(g);
+  util::Rng rng(seed);
+
+  // Informed nodes relay their best value; we track them in a compact list
+  // so a round costs O(#informed coin flips + transmitter degrees).
+  std::vector<graph::NodeId> informed_list;
+  std::vector<std::uint8_t> informed(n, 0);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (out.best[v] != radio::kNoPayload) {
+      informed[v] = 1;
+      informed_list.push_back(v);
+    }
+  }
+
+  std::vector<graph::NodeId> tx_nodes;
+  std::vector<radio::Payload> tx_payload;
+  radio::Network::SparseOutcome sparse;
+
+  std::uint64_t round = 0;
+  std::uint32_t cycle = 0;       // completed density cycles
+  std::uint32_t step = 1;        // 1-based density index within the cycle
+  std::uint32_t cycle_len = depth;
+  std::uint32_t since_check = 0;
+  auto all_informed = [&]() {
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (out.best[v] != out.winner) return false;
+    }
+    return true;
+  };
+  bool done = all_informed();
+  while (!done && round < params.max_rounds) {
+    const double p = schedule::decay_probability(step);
+    tx_nodes.clear();
+    tx_payload.clear();
+    for (graph::NodeId v : informed_list) {
+      if (rng.bernoulli(p)) {
+        tx_nodes.push_back(v);
+        tx_payload.push_back(out.best[v]);
+      }
+    }
+    net.step_sparse(tx_nodes, tx_payload, sparse);
+    for (const auto& d : sparse.deliveries) {
+      if (out.best[d.node] == radio::kNoPayload ||
+          d.payload > out.best[d.node]) {
+        out.best[d.node] = d.payload;
+      }
+      if (!informed[d.node]) {
+        informed[d.node] = 1;
+        informed_list.push_back(d.node);
+      }
+    }
+    ++round;
+    if (++step > cycle_len) {
+      step = 1;
+      ++cycle;
+      // CR's periodic full-depth cycle.
+      cycle_len = (params.full_cycle_every != 0 &&
+                   cycle % params.full_cycle_every == 0)
+                      ? full_depth
+                      : depth;
+    }
+    if (++since_check >= params.check_interval) {
+      since_check = 0;
+      done = all_informed();
+    }
+  }
+  if (!done) done = all_informed();
+
+  out.success = done;
+  out.rounds = round;
+  out.transmissions = net.total_transmissions();
+  out.collisions = net.total_collisions();
+  out.informed = 0;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (out.best[v] == out.winner) ++out.informed;
+  }
+  return out;
+}
+
+}  // namespace radiocast::baselines

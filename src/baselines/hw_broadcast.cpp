@@ -1,0 +1,19 @@
+#include "baselines/hw_broadcast.hpp"
+
+namespace radiocast::baselines {
+
+core::CompeteParams hw_params() {
+  core::CompeteParams p;
+  p.hw_curtail = true;
+  return p;
+}
+
+core::BroadcastResult hw_broadcast(const graph::Graph& g,
+                                   std::uint32_t diameter,
+                                   graph::NodeId source,
+                                   radio::Payload message,
+                                   std::uint64_t seed) {
+  return core::broadcast(g, diameter, source, message, hw_params(), seed);
+}
+
+}  // namespace radiocast::baselines

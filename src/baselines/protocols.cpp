@@ -1,0 +1,173 @@
+#include "baselines/protocols.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "schedule/decay.hpp"
+#include "util/math.hpp"
+
+namespace radiocast::baselines::protocols {
+
+// ---- DecayBroadcast --------------------------------------------------------
+
+DecayBroadcast::DecayBroadcast(Payload initial) : best_(initial) {}
+
+void DecayBroadcast::start(const NodeInfo& info, util::Rng rng) {
+  rng_ = rng;
+  lambda_ = schedule::decay_round_length(info.n);
+}
+
+Action DecayBroadcast::on_round(Round round) {
+  if (best_ == kNoPayload) return Action::listen();
+  const auto step = static_cast<std::uint32_t>(round % lambda_) + 1;
+  if (rng_.bernoulli(schedule::decay_probability(step))) {
+    return Action::send(best_);
+  }
+  return Action::listen();
+}
+
+void DecayBroadcast::on_message(Round, Payload payload) {
+  if (best_ == kNoPayload || payload > best_) best_ = payload;
+}
+
+// ---- ShallowDecayBroadcast -------------------------------------------------
+
+ShallowDecayBroadcast::ShallowDecayBroadcast(Payload initial,
+                                             std::uint32_t full_cycle_every)
+    : best_(initial), full_cycle_every_(full_cycle_every) {}
+
+void ShallowDecayBroadcast::start(const NodeInfo& info, util::Rng rng) {
+  rng_ = rng;
+  full_ = schedule::decay_round_length(info.n);
+  const double ratio =
+      std::max(2.0, static_cast<double>(info.n) /
+                        std::max<double>(1.0, info.diameter));
+  shallow_ = std::min<std::uint32_t>(
+      full_, static_cast<std::uint32_t>(std::ceil(std::log2(ratio))) + 2);
+  cycle_len_ = shallow_;
+  step_ = 0;
+  cycle_ = 0;
+}
+
+Action ShallowDecayBroadcast::on_round(Round) {
+  // Advance the shared cycle clock first so all nodes stay in lockstep
+  // (the cycle structure depends only on (n, D) which everyone knows).
+  const std::uint32_t step = step_ + 1;  // 1-based density index
+  if (++step_ >= cycle_len_) {
+    step_ = 0;
+    ++cycle_;
+    cycle_len_ = (full_cycle_every_ != 0 && cycle_ % full_cycle_every_ == 0)
+                     ? full_
+                     : shallow_;
+  }
+  if (best_ == kNoPayload) return Action::listen();
+  if (rng_.bernoulli(schedule::decay_probability(step))) {
+    return Action::send(best_);
+  }
+  return Action::listen();
+}
+
+void ShallowDecayBroadcast::on_message(Round, Payload payload) {
+  if (best_ == kNoPayload || payload > best_) best_ = payload;
+}
+
+// ---- RoundRobinBroadcast ---------------------------------------------------
+
+RoundRobinBroadcast::RoundRobinBroadcast(Payload initial) : best_(initial) {}
+
+void RoundRobinBroadcast::start(const NodeInfo& info, util::Rng) {
+  info_ = info;
+}
+
+Action RoundRobinBroadcast::on_round(Round round) {
+  if (best_ == kNoPayload) return Action::listen();
+  if (round % info_.n == info_.node_id) return Action::send(best_);
+  return Action::listen();
+}
+
+void RoundRobinBroadcast::on_message(Round, Payload payload) {
+  if (best_ == kNoPayload || payload > best_) best_ = payload;
+}
+
+// ---- BeepWave ---------------------------------------------------------------
+
+BeepWave::BeepWave(bool is_source) : is_source_(is_source) {}
+
+void BeepWave::start(const NodeInfo&, util::Rng) {
+  if (is_source_) layer_ = 0;
+}
+
+void BeepWave::heard(Round round) {
+  if (layer_ == kNoLayer) {
+    layer_ = static_cast<std::uint32_t>(round) + 1;
+  }
+}
+
+Action BeepWave::on_round(Round round) {
+  // A node of layer L beeps exactly once, in round L.
+  if (layer_ != kNoLayer && !beeped_ && round == layer_) {
+    beeped_ = true;
+    return Action::send(1);  // content-free beep
+  }
+  return Action::listen();
+}
+
+void BeepWave::on_message(Round round, Payload) { heard(round); }
+void BeepWave::on_collision(Round round) { heard(round); }
+
+// ---- LayeredCdBroadcast ----------------------------------------------------
+
+LayeredCdBroadcast::LayeredCdBroadcast(Payload initial) : best_(initial) {
+  is_source_ = initial != kNoPayload;
+}
+
+void LayeredCdBroadcast::start(const NodeInfo& info, util::Rng rng) {
+  rng_ = rng;
+  lambda_ = schedule::decay_round_length(info.n);
+  wave_rounds_ = static_cast<Round>(info.diameter) + 2;
+  if (is_source_) layer_ = 0;
+}
+
+void LayeredCdBroadcast::heard_energy(Round round) {
+  if (round < wave_rounds_ && layer_ == BeepWave::kNoLayer) {
+    layer_ = static_cast<std::uint32_t>(round) + 1;
+  }
+}
+
+Action LayeredCdBroadcast::on_round(Round round) {
+  if (round < wave_rounds_) {
+    // Phase 1: the beep wave (content-free, uses collisions as energy).
+    if (layer_ != BeepWave::kNoLayer && !beeped_ && round == layer_) {
+      beeped_ = true;
+      return Action::send(1);
+    }
+    return Action::listen();
+  }
+  // Phase 2: layered Decay. Layer L transmits only in rounds ≡ L (mod 3):
+  // neighbouring layers never collide, so the only contention is among
+  // same-layer neighbours, which Decay handles.
+  if (best_ == kNoPayload || layer_ == BeepWave::kNoLayer) {
+    return Action::listen();
+  }
+  const Round t = round - wave_rounds_;
+  if (t % 3 != layer_ % 3) return Action::listen();
+  const auto step = static_cast<std::uint32_t>((t / 3) % lambda_) + 1;
+  if (rng_.bernoulli(schedule::decay_probability(step))) {
+    return Action::send(best_);
+  }
+  return Action::listen();
+}
+
+void LayeredCdBroadcast::on_message(Round round, Payload payload) {
+  if (round < wave_rounds_) {
+    heard_energy(round);
+    return;
+  }
+  if (best_ == kNoPayload || payload > best_) best_ = payload;
+}
+
+void LayeredCdBroadcast::on_collision(Round round) { heard_energy(round); }
+
+bool LayeredCdBroadcast::done() const { return best_ != kNoPayload; }
+
+}  // namespace radiocast::baselines::protocols

@@ -1,0 +1,88 @@
+// Partition(beta): the Miller-Peng-Xu exponential-shift clustering
+// (Lemma 2.1 of Czumaj-Davies; originally MPX, SPAA 2013).
+//
+// Every node v draws delta_v ~ Exp(beta); node u joins the cluster of the
+// centre c maximising delta_c - dist(c, u). Key properties the paper
+// consumes (all validated by tests and the bench suite):
+//   * clusters have strong diameter O(log n / beta) whp       (Lemma 2.1)
+//   * each edge is cut with probability O(beta)               (Lemma 2.1)
+//   * #distinct clusters within distance d of a node is
+//     stochastically dominated by a geometric-like law        (Lemma 4.3)
+//   * for beta = 2^-j with random j in [0.01 log D, 0.1 log D], w.p. >=
+//     0.55 the expected distance to the centre is O(log n/(beta log D))
+//                                                             (Theorem 2.2)
+//
+// The radio-network distributed implementation costs O(log^3 n / beta)
+// rounds (Lemma 2.1); we compute the partition centrally with the *exact*
+// random process and charge that round cost via `precompute_rounds` (see
+// DESIGN.md "fidelity decisions" #1).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace radiocast::cluster {
+
+using graph::NodeId;
+
+/// Result of one Partition(beta) run. Node u's cluster is identified by its
+/// centre node id; a centre is always its own centre.
+struct Partition {
+  double beta = 0.0;
+  /// Per node: the cluster centre it adopted (kInvalidNode for nodes
+  /// excluded by the mask).
+  std::vector<NodeId> center;
+  /// Per node: hop distance to its centre along the adopted shifted-BFS
+  /// tree (== graph distance to centre within the cluster).
+  std::vector<std::uint32_t> dist_to_center;
+  /// Per node: parent on the adopted shifted-BFS tree (centres point to
+  /// themselves). The tree is intra-cluster by construction and is the
+  /// skeleton the Lemma 2.3 schedules broadcast along.
+  std::vector<NodeId> parent;
+  /// Per node: the exponential shift it drew.
+  std::vector<double> delta;
+
+  NodeId node_count() const { return static_cast<NodeId>(center.size()); }
+  bool in_scope(NodeId v) const { return center[v] != graph::kInvalidNode; }
+  bool is_center(NodeId v) const { return center[v] == v; }
+
+  /// Dense re-indexing: returns per-node dense cluster ids in
+  /// [0, cluster_count), kInvalidNode for out-of-scope nodes, and the list
+  /// of centres indexed by dense id.
+  struct DenseIds {
+    std::vector<NodeId> id_of_node;
+    std::vector<NodeId> center_of_id;
+  };
+  DenseIds dense_ids() const;
+};
+
+/// Runs Partition(beta) on the whole graph.
+Partition partition(const graph::Graph& g, double beta, util::Rng& rng);
+
+/// Runs Partition(beta) restricted to the nodes with mask[v] != 0; edges
+/// leaving the mask are ignored (used for fine clusterings computed inside
+/// coarse clusters, which never cross coarse boundaries). mask.size() must
+/// equal g.node_count().
+Partition partition_masked(const graph::Graph& g, double beta,
+                           const std::vector<std::uint8_t>& mask,
+                           util::Rng& rng);
+
+/// Runs Partition(beta) independently inside each region: nodes u, v are
+/// considered adjacent only when region[u] == region[v]. Nodes with region
+/// == graph::kInvalidNode are out of scope. This implements Algorithm 1
+/// step 3: fine clusterings computed within each coarse cluster (pass the
+/// coarse `center` vector as the region).
+Partition partition_regions(const graph::Graph& g, double beta,
+                            const std::vector<NodeId>& region,
+                            util::Rng& rng);
+
+/// Number of rounds the distributed radio-network implementation of
+/// Partition(beta) would cost (Lemma 2.1: O(log^3 n / beta)); used by the
+/// round-accounting in core::Compete.
+std::uint64_t precompute_rounds(std::uint32_t n, double beta);
+
+}  // namespace radiocast::cluster

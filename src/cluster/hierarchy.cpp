@@ -1,0 +1,68 @@
+#include "cluster/hierarchy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math.hpp"
+
+namespace radiocast::cluster {
+
+Hierarchy::Hierarchy(const graph::Graph& g, std::uint32_t diameter,
+                     const HierarchyParams& params, util::Rng& rng)
+    : coarse_(partition(
+          g,
+          util::fpow(static_cast<double>(std::max<std::uint32_t>(2, diameter)),
+                     params.coarse_beta_exponent),
+          rng)) {
+  const double d = static_cast<double>(std::max<std::uint32_t>(2, diameter));
+  const double log_d = util::safe_log2(d);
+
+  // j range [0.01 log D, 0.1 log D], clamped to sane values: j >= 1 so that
+  // beta = 2^-j <= 1/2, and j_max >= j_min so the range is non-empty.
+  std::uint32_t j_min = static_cast<std::uint32_t>(
+      std::max(1.0, std::floor(params.j_min_frac * log_d)));
+  std::uint32_t j_max = static_cast<std::uint32_t>(
+      std::max<double>(j_min, std::floor(params.j_max_frac * log_d)));
+  for (std::uint32_t j = j_min; j <= j_max; ++j) j_values_.push_back(j);
+
+  reps_ = static_cast<std::uint32_t>(
+      std::max(1.0, std::ceil(util::fpow(d, params.fine_reps_exponent))));
+  // Memory guard: cap the grid, trimming repetitions first.
+  while (j_values_.size() * reps_ > params.max_total_fine && reps_ > 1) {
+    --reps_;
+  }
+
+  fine_.reserve(j_values_.size() * reps_);
+  for (std::uint32_t j : j_values_) {
+    const double beta = std::ldexp(1.0, -static_cast<int>(j));  // 2^-j
+    for (std::uint32_t r = 0; r < reps_; ++r) {
+      fine_.push_back(partition_regions(g, beta, coarse_.center, rng));
+      charged_rounds_ += precompute_rounds(g.node_count(), beta);
+    }
+  }
+  charged_rounds_ += precompute_rounds(g.node_count(), coarse_.beta);
+  seq_seed_ = rng();
+}
+
+Hierarchy::FineChoice Hierarchy::sequence_choice(NodeId coarse_center,
+                                                 std::uint64_t pos) const {
+  FineChoice c;
+  const std::size_t total = fine_.size();
+  std::size_t idx;
+  if (randomize_) {
+    // Deterministic hash of (seed, centre, position) -> uniform index.
+    std::uint64_t h = util::mix_seed(seq_seed_, coarse_center);
+    h = util::mix_seed(h, pos);
+    idx = static_cast<std::size_t>(h % total);
+  } else {
+    // Ablation: fixed j = j_max, repetitions cycled round-robin.
+    idx = (j_values_.size() - 1) * reps_ + (pos % reps_);
+  }
+  c.j_index = idx / reps_;
+  c.rep = static_cast<std::uint32_t>(idx % reps_);
+  c.j = j_values_[c.j_index];
+  c.beta = std::ldexp(1.0, -static_cast<int>(c.j));
+  return c;
+}
+
+}  // namespace radiocast::cluster

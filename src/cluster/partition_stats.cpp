@@ -1,0 +1,244 @@
+#include "cluster/partition_stats.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <unordered_set>
+
+#include "graph/algorithms.hpp"
+
+namespace radiocast::cluster {
+
+namespace {
+
+/// BFS inside one cluster from `start`; visits only nodes with the same
+/// centre. Returns (visited order, distances keyed by node).
+void cluster_bfs(const graph::Graph& g, const Partition& p, NodeId start,
+                 std::vector<std::uint32_t>& dist_scratch,
+                 std::vector<NodeId>& order_out) {
+  const NodeId center = p.center[start];
+  order_out.clear();
+  std::vector<NodeId> frontier{start};
+  dist_scratch[start] = 0;
+  order_out.push_back(start);
+  std::uint32_t level = 0;
+  std::vector<NodeId> next;
+  while (!frontier.empty()) {
+    ++level;
+    next.clear();
+    for (NodeId u : frontier) {
+      for (NodeId w : g.neighbors(u)) {
+        if (p.center[w] != center) continue;
+        if (dist_scratch[w] != graph::kUnreachable) continue;
+        dist_scratch[w] = level;
+        order_out.push_back(w);
+        next.push_back(w);
+      }
+    }
+    frontier.swap(next);
+  }
+}
+
+}  // namespace
+
+std::vector<ClusterInfo> cluster_infos(const graph::Graph& g,
+                                       const Partition& p) {
+  const auto dense = p.dense_ids();
+  std::vector<ClusterInfo> infos(dense.center_of_id.size());
+  const NodeId n = g.node_count();
+  for (std::size_t c = 0; c < infos.size(); ++c) {
+    infos[c].center = dense.center_of_id[c];
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    const NodeId id = dense.id_of_node[v];
+    if (id == graph::kInvalidNode) continue;
+    auto& info = infos[id];
+    ++info.size;
+    info.strong_radius = std::max(info.strong_radius, p.dist_to_center[v]);
+  }
+  // Strong diameter lower bound by double sweep within each cluster.
+  std::vector<std::uint32_t> dist(n, graph::kUnreachable);
+  std::vector<NodeId> order;
+  for (auto& info : infos) {
+    cluster_bfs(g, p, info.center, dist, order);
+    NodeId far1 = info.center;
+    for (NodeId v : order) {
+      if (dist[v] > dist[far1]) far1 = v;
+    }
+    for (NodeId v : order) dist[v] = graph::kUnreachable;
+    cluster_bfs(g, p, far1, dist, order);
+    std::uint32_t best = 0;
+    for (NodeId v : order) best = std::max(best, dist[v]);
+    info.strong_diameter_lb = best;
+    for (NodeId v : order) dist[v] = graph::kUnreachable;
+  }
+  return infos;
+}
+
+double cut_fraction(const graph::Graph& g, const Partition& p) {
+  std::uint64_t in_scope = 0, cut = 0;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    if (!p.in_scope(u)) continue;
+    for (NodeId v : g.neighbors(u)) {
+      if (v < u || !p.in_scope(v)) continue;
+      ++in_scope;
+      if (p.center[u] != p.center[v]) ++cut;
+    }
+  }
+  return in_scope == 0 ? 0.0
+                       : static_cast<double>(cut) / static_cast<double>(in_scope);
+}
+
+std::uint64_t cut_edge_count(const graph::Graph& g, const Partition& p) {
+  std::uint64_t cut = 0;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    if (!p.in_scope(u)) continue;
+    for (NodeId v : g.neighbors(u)) {
+      if (v < u || !p.in_scope(v)) continue;
+      if (p.center[u] != p.center[v]) ++cut;
+    }
+  }
+  return cut;
+}
+
+bool clusters_connected(const graph::Graph& g, const Partition& p) {
+  const NodeId n = g.node_count();
+  std::vector<std::uint32_t> dist(n, graph::kUnreachable);
+  std::vector<std::uint8_t> reached(n, 0);
+  std::vector<NodeId> order;
+  for (NodeId v = 0; v < n; ++v) {
+    if (!p.in_scope(v) || !p.is_center(v)) continue;
+    cluster_bfs(g, p, v, dist, order);
+    for (NodeId u : order) {
+      reached[u] = 1;
+      dist[u] = graph::kUnreachable;
+    }
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (p.in_scope(v) && !reached[v]) return false;
+  }
+  return true;
+}
+
+bool centers_consistent(const Partition& p) {
+  for (NodeId v = 0; v < p.node_count(); ++v) {
+    const NodeId c = p.center[v];
+    if (c == graph::kInvalidNode) continue;
+    if (p.center[c] != c) return false;
+    if (p.is_center(v) && p.dist_to_center[v] != 0) return false;
+  }
+  return true;
+}
+
+bool distances_consistent(const graph::Graph& g, const Partition& p) {
+  const NodeId n = g.node_count();
+  std::vector<std::uint32_t> dist(n, graph::kUnreachable);
+  std::vector<NodeId> order;
+  for (NodeId c = 0; c < n; ++c) {
+    if (!p.in_scope(c) || !p.is_center(c)) continue;
+    cluster_bfs(g, p, c, dist, order);
+    for (NodeId v : order) {
+      if (dist[v] != p.dist_to_center[v]) return false;
+    }
+    for (NodeId v : order) dist[v] = graph::kUnreachable;
+  }
+  return true;
+}
+
+std::vector<std::uint8_t> boundary_nodes(const graph::Graph& g,
+                                         const Partition& p) {
+  const NodeId n = g.node_count();
+  std::vector<std::uint8_t> risky(n, 0);
+  for (NodeId u = 0; u < n; ++u) {
+    if (!p.in_scope(u)) continue;
+    for (NodeId v : g.neighbors(u)) {
+      if (p.in_scope(v) && p.center[v] != p.center[u]) {
+        risky[u] = 1;
+        break;
+      }
+    }
+  }
+  return risky;
+}
+
+std::uint32_t clusters_within(const graph::Graph& g, const Partition& p,
+                              NodeId v, std::uint32_t d) {
+  if (!p.in_scope(v)) return 0;
+  std::unordered_set<NodeId> centers;
+  std::vector<std::uint32_t> dist(g.node_count(), graph::kUnreachable);
+  std::vector<NodeId> frontier{v}, next;
+  dist[v] = 0;
+  centers.insert(p.center[v]);
+  std::uint32_t level = 0;
+  while (!frontier.empty() && level < d) {
+    ++level;
+    next.clear();
+    for (NodeId u : frontier) {
+      for (NodeId w : g.neighbors(u)) {
+        if (dist[w] != graph::kUnreachable) continue;
+        dist[w] = level;
+        if (p.in_scope(w)) centers.insert(p.center[w]);
+        next.push_back(w);
+      }
+    }
+    frontier.swap(next);
+  }
+  return static_cast<std::uint32_t>(centers.size());
+}
+
+std::uint32_t bordering_clusters(const graph::Graph& g, const Partition& p,
+                                 NodeId v) {
+  return clusters_within(g, p, v, 1);
+}
+
+double mean_dist_to_center(const Partition& p) {
+  std::uint64_t sum = 0, count = 0;
+  for (NodeId v = 0; v < p.node_count(); ++v) {
+    if (!p.in_scope(v)) continue;
+    sum += p.dist_to_center[v];
+    ++count;
+  }
+  return count == 0 ? 0.0
+                    : static_cast<double>(sum) / static_cast<double>(count);
+}
+
+SubpathBadness subpath_badness(const graph::Graph& g, const Partition& p,
+                               const std::vector<NodeId>& path,
+                               std::uint32_t sub_len, std::uint32_t radius) {
+  SubpathBadness out;
+  if (path.empty() || sub_len == 0) return out;
+  // A subpath is good iff all nodes within `radius` of it share one cluster.
+  // We BFS once per subpath from its node set; subpaths partition the path.
+  for (std::size_t start = 0; start < path.size(); start += sub_len) {
+    const std::size_t end = std::min(path.size(), start + sub_len);
+    ++out.total_subpaths;
+    std::unordered_set<NodeId> centers;
+    std::vector<std::uint32_t> dist(g.node_count(), graph::kUnreachable);
+    std::vector<NodeId> frontier, next;
+    for (std::size_t i = start; i < end; ++i) {
+      const NodeId v = path[i];
+      if (dist[v] == graph::kUnreachable) {
+        dist[v] = 0;
+        frontier.push_back(v);
+        if (p.in_scope(v)) centers.insert(p.center[v]);
+      }
+    }
+    std::uint32_t level = 0;
+    while (!frontier.empty() && level < radius && centers.size() <= 1) {
+      ++level;
+      next.clear();
+      for (NodeId u : frontier) {
+        for (NodeId w : g.neighbors(u)) {
+          if (dist[w] != graph::kUnreachable) continue;
+          dist[w] = level;
+          if (p.in_scope(w)) centers.insert(p.center[w]);
+          next.push_back(w);
+        }
+      }
+      frontier.swap(next);
+    }
+    if (centers.size() > 1) ++out.bad_subpaths;
+  }
+  return out;
+}
+
+}  // namespace radiocast::cluster

@@ -1,0 +1,88 @@
+// Measurements over a Partition: everything the paper's lemmas quantify.
+//
+// These are analysis utilities (centralised); they power the E4/E5/E8/E11
+// experiments and the partition invariant tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/exponential_shifts.hpp"
+#include "graph/graph.hpp"
+
+namespace radiocast::cluster {
+
+/// Per-cluster summary.
+struct ClusterInfo {
+  NodeId center = graph::kInvalidNode;
+  std::uint32_t size = 0;
+  /// max over members of hop distance to centre within the cluster
+  /// (the "strong radius"; strong diameter <= 2 * strong_radius).
+  std::uint32_t strong_radius = 0;
+  /// Exact strong diameter via double sweep inside the cluster subgraph
+  /// (exact on trees, a lower bound in general; paired with 2*radius as the
+  /// upper bound).
+  std::uint32_t strong_diameter_lb = 0;
+};
+
+/// All per-cluster summaries, dense-id indexed.
+std::vector<ClusterInfo> cluster_infos(const graph::Graph& g,
+                                       const Partition& p);
+
+/// Fraction of in-scope edges cut by the partition (both endpoints in scope,
+/// different centres). Lemma 2.1 claims this is O(beta) per edge.
+double cut_fraction(const graph::Graph& g, const Partition& p);
+
+/// Count of cut edges.
+std::uint64_t cut_edge_count(const graph::Graph& g, const Partition& p);
+
+/// True if every cluster is connected in the induced subgraph (required by
+/// the clustering definition in Section 2.1).
+bool clusters_connected(const graph::Graph& g, const Partition& p);
+
+/// True if center-of-anyone => center-of-itself (Section 2.1 property).
+bool centers_consistent(const Partition& p);
+
+/// True if dist_to_center[v] equals the BFS distance from v to its centre
+/// inside v's cluster (validates the shifted-BFS tree bookkeeping).
+bool distances_consistent(const graph::Graph& g, const Partition& p);
+
+/// Nodes with at least one in-scope neighbour in a different cluster — the
+/// paper's "risky" nodes (proof of Lemma 4.2).
+std::vector<std::uint8_t> boundary_nodes(const graph::Graph& g,
+                                         const Partition& p);
+
+/// Number of distinct clusters with a node within distance <= d of v
+/// (including v's own). Lemma 4.3 bounds its distribution; the background
+/// Decay process cost scales with it (q in the proof of Lemma 4.2).
+std::uint32_t clusters_within(const graph::Graph& g, const Partition& p,
+                              NodeId v, std::uint32_t d);
+
+/// Distinct clusters adjacent to v (closed neighbourhood) = clusters_within
+/// with d = 1; the "q" of Lemma 4.2's rescue-time bound.
+std::uint32_t bordering_clusters(const graph::Graph& g, const Partition& p,
+                                 NodeId v);
+
+/// Mean hop distance to the cluster centre over in-scope nodes
+/// (the quantity bounded by Theorem 2.2).
+double mean_dist_to_center(const Partition& p);
+
+/// Distance to centre of one node; kUnreachable-free by construction.
+inline std::uint32_t dist_to_center(const Partition& p, NodeId v) {
+  return p.dist_to_center[v];
+}
+
+/// For a path given as a node sequence, counts the subpaths of length
+/// `sub_len` that are "bad": some node within distance `radius` of the
+/// subpath lies in a different cluster than another such node (i.e. the
+/// subpath's neighbourhood is not contained in one cluster) — Section 4's
+/// good/bad subpath dichotomy for the coarse clustering.
+struct SubpathBadness {
+  std::uint32_t total_subpaths = 0;
+  std::uint32_t bad_subpaths = 0;
+};
+SubpathBadness subpath_badness(const graph::Graph& g, const Partition& p,
+                               const std::vector<NodeId>& path,
+                               std::uint32_t sub_len, std::uint32_t radius);
+
+}  // namespace radiocast::cluster

@@ -1,0 +1,48 @@
+// Distributed BFS-tree construction — the application Section 1.2 uses to
+// motivate leader election: "many fast multi-message communication
+// protocols require construction of a breadth-first search tree, which in
+// turn requires a single node to act as source".
+//
+// Pipeline: (1) elect a leader with Algorithm 6, (2) grow a BFS tree from
+// the leader by layered Decay: every node that first hears a message
+// carrying hop count h adopts the sender as parent and layer h+1, then
+// joins the Decay relay announcing h+1. Runs fully physically over the
+// medium. Cost: leader election + O((D + log n) log n) for the growth.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/leader_election.hpp"
+#include "graph/graph.hpp"
+
+namespace radiocast::core {
+
+struct BfsTreeParams {
+  LeaderElectionParams election{};
+  /// If a valid node id, skip the election and root the tree here
+  /// (kInvalidNode = elect).
+  graph::NodeId root_hint = graph::kInvalidNode;
+  std::uint64_t max_growth_rounds = 20'000'000;
+};
+
+struct BfsTreeResult {
+  bool success = false;  // every node attached, layers consistent
+  graph::NodeId root = graph::kInvalidNode;
+  std::uint64_t election_rounds = 0;
+  std::uint64_t growth_rounds = 0;
+  /// Per node: tree parent (root points to itself) and BFS layer.
+  std::vector<graph::NodeId> parent;
+  std::vector<std::uint32_t> layer;
+};
+
+/// Builds a BFS tree over the radio medium. Deterministic in the seed.
+BfsTreeResult build_bfs_tree(const graph::Graph& g, std::uint32_t diameter,
+                             const BfsTreeParams& params, std::uint64_t seed);
+
+/// Validation helper: parents are edges, layers increase by exactly one
+/// along parent links, and the layer equals the true BFS distance from the
+/// root (i.e. the tree is a genuine BFS tree, not just spanning).
+bool is_valid_bfs_tree(const graph::Graph& g, const BfsTreeResult& tree);
+
+}  // namespace radiocast::core

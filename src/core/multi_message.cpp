@@ -1,0 +1,94 @@
+#include "core/multi_message.hpp"
+
+#include <stdexcept>
+
+#include "cluster/exponential_shifts.hpp"
+#include "graph/algorithms.hpp"
+#include "radio/network.hpp"
+#include "schedule/bfs_schedule.hpp"
+#include "util/rng.hpp"
+
+namespace radiocast::core {
+
+MultiMessageResult multi_message_broadcast(
+    const graph::Graph& g, const std::vector<radio::Payload>& messages,
+    const MultiMessageParams& params, std::uint64_t seed) {
+  (void)seed;  // the pipeline is deterministic; seed kept for API symmetry
+  const graph::NodeId n = g.node_count();
+  MultiMessageResult out;
+  if (n == 0 || params.root >= n) {
+    throw std::invalid_argument("multi_message_broadcast: bad root/graph");
+  }
+  const std::uint32_t k = static_cast<std::uint32_t>(messages.size());
+  if (k == 0) {
+    out.success = true;
+    return out;
+  }
+
+  // One cluster covering the graph: the BFS tree from the root, presented
+  // as a Partition so TreeSchedule can colour it.
+  const auto bfs = graph::bfs_tree(g, params.root);
+  cluster::Partition p;
+  p.beta = 1.0;
+  p.center.assign(n, params.root);
+  p.dist_to_center = bfs.dist;
+  p.parent = bfs.parent;
+  p.delta.assign(n, 0.0);
+  std::uint32_t depth = 0;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (bfs.dist[v] == graph::kUnreachable) {
+      throw std::invalid_argument("multi_message_broadcast: disconnected");
+    }
+    depth = std::max(depth, bfs.dist[v]);
+  }
+  const schedule::TreeSchedule sched(g, p, schedule::ScheduleMode::kColored);
+  out.period = sched.period();
+
+  radio::Network net(g);
+  // Per node: messages received so far (they arrive in order along the
+  // tree) and the index of the next one to forward.
+  std::vector<std::uint32_t> have(n, 0), sent(n, 0);
+  have[params.root] = k;
+
+  std::vector<graph::NodeId> tx_nodes;
+  std::vector<radio::Payload> tx_payload;
+  radio::Network::SparseOutcome sparse;
+  std::uint32_t done_nodes = 1;  // the root holds everything already
+
+  std::uint64_t round = 0;
+  while (done_nodes < n && round < params.max_rounds) {
+    const std::uint32_t slot =
+        static_cast<std::uint32_t>(round % out.period);
+    tx_nodes.clear();
+    tx_payload.clear();
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (sched.color(v) != slot) continue;
+      if (sent[v] >= have[v]) continue;       // nothing pending
+      const std::uint32_t id = sent[v];
+      tx_nodes.push_back(v);
+      tx_payload.push_back((static_cast<radio::Payload>(id) << 32) |
+                           (messages[id] & 0xFFFFFFFFu));
+      ++sent[v];
+    }
+    if (!tx_nodes.empty()) {
+      net.step_sparse(tx_nodes, tx_payload, sparse);
+      for (const auto& d : sparse.deliveries) {
+        // Accept only from the tree parent (others are overheard noise).
+        if (d.from != p.parent[d.node] || d.node == params.root) continue;
+        const auto id = static_cast<std::uint32_t>(d.payload >> 32);
+        if (id == have[d.node]) {  // in-order pipeline
+          if (++have[d.node] == k) ++done_nodes;
+        }
+      }
+    }
+    ++round;
+  }
+  out.rounds = round;
+  out.success = done_nodes == n;
+  const double ideal =
+      static_cast<double>(out.period) * (static_cast<double>(depth) + k);
+  out.pipeline_ratio = ideal > 0 ? static_cast<double>(round) / ideal : 0.0;
+  return out;
+}
+
+}  // namespace radiocast::core

@@ -1,0 +1,451 @@
+#include "core/propagation.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "schedule/decay.hpp"
+#include "util/math.hpp"
+
+namespace radiocast::core {
+
+PropagationEngine::PropagationEngine(const Config& cfg)
+    : g_(cfg.graph),
+      regions_(cfg.regions),
+      scheds_(cfg.scheds),
+      choose_(cfg.choose),
+      icp_background_(cfg.icp_background),
+      seed_(cfg.seed),
+      net_(*cfg.graph),
+      lambda_(schedule::decay_round_length(cfg.graph->node_count())) {
+  if (g_ == nullptr || regions_ == nullptr || scheds_.empty() || !choose_) {
+    throw std::invalid_argument("PropagationEngine: incomplete config");
+  }
+  for (std::size_t s = 1; s < scheds_.size(); ++s) {
+    if (scheds_[s]->mode() != scheds_[0]->mode()) {
+      throw std::invalid_argument(
+          "PropagationEngine: schedules must share one mode");
+    }
+  }
+  const NodeId n = g_->node_count();
+  reached_.assign(n, 0);
+  upval_.assign(n, radio::kNoPayload);
+  snap_.assign(n, radio::kNoPayload);
+  foreign_at_.assign(n, 0);
+  tx_at_.assign(n, 0);
+  in_list_.assign(n, 0);
+
+  build_region_structures();
+  index_.resize(scheds_.size());
+  for (std::size_t s = 0; s < scheds_.size(); ++s) build_sched_index(s);
+  rstate_.assign(region_count_, RegionState{});
+}
+
+void PropagationEngine::build_region_structures() {
+  const NodeId n = g_->node_count();
+  const auto dense = regions_->dense_ids();
+  region_count_ = static_cast<std::uint32_t>(dense.center_of_id.size());
+  region_of_ = dense.id_of_node;
+  region_center_ = dense.center_of_id;
+  member_off_.assign(region_count_ + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (region_of_[v] != graph::kInvalidNode) ++member_off_[region_of_[v] + 1];
+  }
+  for (std::size_t i = 1; i < member_off_.size(); ++i) {
+    member_off_[i] += member_off_[i - 1];
+  }
+  member_.resize(member_off_.back());
+  std::vector<std::uint32_t> cursor(member_off_.begin(),
+                                    member_off_.end() - 1);
+  for (NodeId v = 0; v < n; ++v) {
+    if (region_of_[v] != graph::kInvalidNode) member_[cursor[region_of_[v]]++] = v;
+  }
+}
+
+void PropagationEngine::build_sched_index(std::size_t s) {
+  const schedule::TreeSchedule& sched = *scheds_[s];
+  SchedIndex& idx = index_[s];
+  const NodeId n = g_->node_count();
+
+  // Per region: max depth present.
+  std::vector<std::uint32_t> max_depth(region_count_, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    const std::uint32_t r = region_of_[v];
+    if (r == graph::kInvalidNode || !sched.in_scope(v)) continue;
+    max_depth[r] = std::max(max_depth[r], sched.depth(v));
+  }
+  idx.region_start.assign(region_count_ + 1, 0);
+  idx.depth_start.assign(region_count_ + 1, 0);
+  for (std::uint32_t r = 0; r < region_count_; ++r) {
+    idx.depth_start[r + 1] = idx.depth_start[r] + max_depth[r] + 2;
+  }
+  idx.off.assign(idx.depth_start.back(), 0);
+
+  // Counting sort members of each region by depth.
+  for (NodeId v = 0; v < n; ++v) {
+    const std::uint32_t r = region_of_[v];
+    if (r == graph::kInvalidNode || !sched.in_scope(v)) continue;
+    ++idx.region_start[r + 1];
+    ++idx.off[idx.depth_start[r] + sched.depth(v) + 1];
+  }
+  for (std::uint32_t r = 0; r < region_count_; ++r) {
+    idx.region_start[r + 1] += idx.region_start[r];
+    const std::uint32_t base = idx.depth_start[r];
+    const std::uint32_t levels = max_depth[r] + 1;
+    for (std::uint32_t d = 0; d < levels; ++d) {
+      idx.off[base + d + 1] += idx.off[base + d];
+    }
+  }
+  idx.nodes.resize(idx.region_start.back());
+  std::vector<std::uint32_t> cursor(idx.off);  // copy as write cursors
+  for (NodeId v = 0; v < n; ++v) {
+    const std::uint32_t r = region_of_[v];
+    if (r == graph::kInvalidNode || !sched.in_scope(v)) continue;
+    const std::uint32_t slot =
+        idx.region_start[r] + cursor[idx.depth_start[r] + sched.depth(v)]++;
+    idx.nodes[slot] = v;
+  }
+}
+
+void PropagationEngine::mark_reached(NodeId v) {
+  reached_[v] = 1;
+  if (!in_list_[v]) {
+    in_list_[v] = 1;
+    reached_list_.push_back(v);
+  }
+}
+
+void PropagationEngine::start_window(std::uint32_t region,
+                                     std::vector<Payload>& best) {
+  RegionState& st = rstate_[region];
+  st.choice = choose_(region_center_[region], st.seq_pos);
+  if (st.choice.sched_index >= scheds_.size()) {
+    throw std::out_of_range("PropagationEngine: choice.sched_index OOR");
+  }
+  st.span = std::max<std::uint32_t>(1, st.choice.pass_hops);
+  const schedule::TreeSchedule& sched = *scheds_[st.choice.sched_index];
+  st.pass_len = sched.mode() == schedule::ScheduleMode::kColored
+                    ? st.span * sched.period()
+                    : st.span;
+  st.phase = Phase::kOutA;
+  st.phase_round = 0;
+  ++stats_.windows_started;
+  begin_phase(region, Phase::kOutA, best);
+}
+
+void PropagationEngine::begin_phase(std::uint32_t region, Phase phase,
+                                    std::vector<Payload>& best) {
+  RegionState& st = rstate_[region];
+  const schedule::TreeSchedule& sched = *scheds_[st.choice.sched_index];
+  const auto lo = member_off_[region], hi = member_off_[region + 1];
+  switch (phase) {
+    case Phase::kOutA:
+      // Fresh window: reset wave state, snapshot centre values, seed the
+      // wave at the centres (Algorithm 3 step 1).
+      for (std::uint32_t i = lo; i < hi; ++i) {
+        const NodeId v = member_[i];
+        reached_[v] = 0;
+        upval_[v] = radio::kNoPayload;
+        if (sched.center(v) == v) {
+          snap_[v] = best[v];
+          if (best[v] != radio::kNoPayload) mark_reached(v);
+        }
+      }
+      break;
+    case Phase::kInward:
+      // Algorithm 3 step 2: nodes within the hop budget knowing something
+      // higher than their centre's snapshot converge-cast it.
+      for (std::uint32_t i = lo; i < hi; ++i) {
+        const NodeId v = member_[i];
+        upval_[v] = radio::kNoPayload;
+        if (sched.depth(v) > st.span) continue;
+        const Payload csnap = snap_[sched.center(v)];
+        if (best[v] != radio::kNoPayload &&
+            (csnap == radio::kNoPayload || best[v] > csnap)) {
+          upval_[v] = best[v];
+        }
+      }
+      break;
+    case Phase::kOutC:
+      // Algorithm 3 step 3: fresh outward wave with the updated centre
+      // value.
+      for (std::uint32_t i = lo; i < hi; ++i) {
+        const NodeId v = member_[i];
+        reached_[v] = 0;
+        if (sched.center(v) == v && best[v] != radio::kNoPayload) {
+          mark_reached(v);
+        }
+      }
+      break;
+  }
+}
+
+void PropagationEngine::finish_inward(std::uint32_t region,
+                                      std::vector<Payload>& best) {
+  // Centres adopt the converge-cast maximum. Centres are exactly the
+  // depth-0 bucket of this region's schedule index.
+  const RegionState& st = rstate_[region];
+  const SchedIndex& idx = index_[st.choice.sched_index];
+  const std::uint32_t base = idx.depth_start[region];
+  const std::uint32_t start = idx.region_start[region] + idx.off[base + 0];
+  const std::uint32_t end = idx.region_start[region] + idx.off[base + 1];
+  for (std::uint32_t i = start; i < end; ++i) {
+    const NodeId c = idx.nodes[i];
+    if (upval_[c] != radio::kNoPayload &&
+        (best[c] == radio::kNoPayload || upval_[c] > best[c])) {
+      best[c] = upval_[c];
+    }
+  }
+}
+
+std::uint32_t PropagationEngine::transmit_depth(const RegionState& st) const {
+  if (st.phase == Phase::kInward) {
+    // Convergecast: deepest curtailed layer first, depth 1 last.
+    return st.span - st.phase_round;
+  }
+  return st.phase_round;  // outward wave time == transmitting depth
+}
+
+void PropagationEngine::wave_round(std::vector<Payload>& best) {
+  ++round_id_;
+  tx_nodes_.clear();
+  tx_payload_.clear();
+  const bool colored =
+      scheds_[0]->mode() == schedule::ScheduleMode::kColored;
+
+  // ---- collect transmitters ---------------------------------------------
+  for (std::uint32_t r = 0; r < region_count_; ++r) {
+    const RegionState& st = rstate_[r];
+    const schedule::TreeSchedule& sched = *scheds_[st.choice.sched_index];
+    const SchedIndex& idx = index_[st.choice.sched_index];
+    const bool inward = st.phase == Phase::kInward;
+    if (!colored) {
+      const std::uint32_t d = transmit_depth(st);
+      const std::uint32_t levels = idx.levels(r);
+      if (d == kNoDepth || d >= levels) continue;
+      if (inward && d == 0) continue;  // centres don't converge-cast up
+      const std::uint32_t base = idx.depth_start[r];
+      const std::uint32_t start = idx.region_start[r] + idx.off[base + d];
+      const std::uint32_t end = idx.region_start[r] + idx.off[base + d + 1];
+      for (std::uint32_t i = start; i < end; ++i) {
+        const NodeId v = idx.nodes[i];
+        if (inward) {
+          if (upval_[v] != radio::kNoPayload) {
+            tx_nodes_.push_back(v);
+            tx_payload_.push_back(upval_[v]);
+          }
+        } else if (reached_[v] && best[v] != radio::kNoPayload) {
+          tx_nodes_.push_back(v);
+          tx_payload_.push_back(best[v]);
+        }
+      }
+    } else {
+      // Colored mode: reached / participating members transmit in their
+      // colour slot; physical flooding, one hop per period.
+      const std::uint32_t slot = st.phase_round % sched.period();
+      for (std::uint32_t i = member_off_[r]; i < member_off_[r + 1]; ++i) {
+        const NodeId v = member_[i];
+        if (!sched.in_scope(v) || sched.depth(v) > st.span) continue;
+        if (sched.color(v) != slot) continue;
+        if (inward) {
+          if (sched.depth(v) > 0 && upval_[v] != radio::kNoPayload) {
+            tx_nodes_.push_back(v);
+            tx_payload_.push_back(upval_[v]);
+          }
+        } else if (reached_[v] && best[v] != radio::kNoPayload) {
+          tx_nodes_.push_back(v);
+          tx_payload_.push_back(best[v]);
+        }
+      }
+    }
+  }
+
+  if (!colored) {
+    // ---- pipelined resolution: honest inter-cluster blocking -------------
+    for (std::size_t i = 0; i < tx_nodes_.size(); ++i) {
+      tx_at_[tx_nodes_[i]] = round_id_;
+    }
+    for (std::size_t i = 0; i < tx_nodes_.size(); ++i) {
+      const NodeId u = tx_nodes_[i];
+      const std::uint32_t ru = region_of_[u];
+      const schedule::TreeSchedule& su = *scheds_[rstate_[ru].choice.sched_index];
+      for (NodeId w : g_->neighbors(u)) {
+        // Foreign to w: different region (fine clusters never span
+        // regions), or a different fine cluster of the shared schedule.
+        if (region_of_[w] != ru || su.center(w) != su.center(u)) {
+          foreign_at_[w] = round_id_;
+        }
+      }
+    }
+    for (std::size_t i = 0; i < tx_nodes_.size(); ++i) {
+      const NodeId u = tx_nodes_[i];
+      const std::uint32_t ru = region_of_[u];
+      const RegionState& st = rstate_[ru];
+      const schedule::TreeSchedule& sched = *scheds_[st.choice.sched_index];
+      if (st.phase == Phase::kInward) {
+        const NodeId p = sched.parent(u);
+        if (p == u) continue;
+        if (foreign_at_[p] == round_id_ || tx_at_[p] == round_id_) {
+          ++stats_.wave_blocked;
+          continue;
+        }
+        if (upval_[p] == radio::kNoPayload || tx_payload_[i] > upval_[p]) {
+          upval_[p] = tx_payload_[i];
+        }
+        ++stats_.wave_deliveries;
+      } else {
+        for (NodeId v : sched.children(u)) {
+          if (sched.depth(v) > st.span) continue;
+          if (foreign_at_[v] == round_id_ || tx_at_[v] == round_id_) {
+            ++stats_.wave_blocked;
+            continue;
+          }
+          if (best[v] == radio::kNoPayload || tx_payload_[i] > best[v]) {
+            best[v] = tx_payload_[i];
+          }
+          if (!reached_[v]) {
+            mark_reached(v);
+            ++stats_.wave_deliveries;
+          }
+        }
+      }
+    }
+  } else {
+    // ---- colored resolution: the physical medium decides ------------------
+    net_.step_sparse(tx_nodes_, tx_payload_, sparse_out_);
+    for (std::size_t i = 0; i < tx_nodes_.size(); ++i) {
+      tx_at_[tx_nodes_[i]] = round_id_;
+    }
+    for (const auto& d : sparse_out_.deliveries) {
+      const NodeId v = d.node;
+      if (best[v] == radio::kNoPayload || d.payload > best[v]) {
+        best[v] = d.payload;
+      }
+      const std::uint32_t rv = region_of_[v];
+      if (rv == graph::kInvalidNode || region_of_[d.from] != rv) continue;
+      const RegionState& st = rstate_[rv];
+      const schedule::TreeSchedule& sched = *scheds_[st.choice.sched_index];
+      if (sched.center(d.from) != sched.center(v)) continue;
+      if (st.phase == Phase::kInward) {
+        if (sched.depth(d.from) == sched.depth(v) + 1 &&
+            (upval_[v] == radio::kNoPayload || d.payload > upval_[v])) {
+          upval_[v] = d.payload;
+          ++stats_.wave_deliveries;
+        }
+      } else if (reached_[d.from] && !reached_[v]) {
+        mark_reached(v);
+        ++stats_.wave_deliveries;
+      }
+    }
+  }
+  ++stats_.main_rounds;
+
+  // ---- advance window clocks ---------------------------------------------
+  for (std::uint32_t r = 0; r < region_count_; ++r) {
+    RegionState& st = rstate_[r];
+    if (++st.phase_round < st.pass_len) continue;
+    st.phase_round = 0;
+    switch (st.phase) {
+      case Phase::kOutA:
+        st.phase = Phase::kInward;
+        begin_phase(r, Phase::kInward, best);
+        break;
+      case Phase::kInward:
+        finish_inward(r, best);
+        st.phase = Phase::kOutC;
+        begin_phase(r, Phase::kOutC, best);
+        break;
+      case Phase::kOutC:
+        ++st.seq_pos;
+        start_window(r, best);
+        break;
+    }
+  }
+}
+
+void PropagationEngine::background_round(std::vector<Payload>& best,
+                                         util::Rng& rng) {
+  // Algorithm 4 clock: epochs of lambda iterations, iteration i being one
+  // Decay round (lambda steps) run by each cluster independently with the
+  // coordinated probability 2^-i.
+  const std::uint64_t iter_len = lambda_;
+  const std::uint64_t epoch_len =
+      static_cast<std::uint64_t>(lambda_) * lambda_;
+  const std::uint64_t epoch = bg_clock_ / epoch_len;
+  const std::uint32_t i =
+      static_cast<std::uint32_t>((bg_clock_ % epoch_len) / iter_len) + 1;
+  const std::uint32_t step_in_round =
+      static_cast<std::uint32_t>(bg_clock_ % iter_len) + 1;
+  ++bg_clock_;
+
+  tx_nodes_.clear();
+  tx_payload_.clear();
+  const double cluster_p = schedule::decay_probability(i);
+  const double node_p = schedule::decay_probability(step_in_round);
+
+  // Compact the reached list lazily while collecting participants.
+  std::size_t w = 0;
+  for (std::size_t r = 0; r < reached_list_.size(); ++r) {
+    const NodeId v = reached_list_[r];
+    if (!reached_[v]) {
+      in_list_[v] = 0;  // stale entry from an earlier window
+      continue;
+    }
+    reached_list_[w++] = v;
+    if (best[v] == radio::kNoPayload) continue;
+    const std::uint32_t rv = region_of_[v];
+    const schedule::TreeSchedule& sched =
+        *scheds_[rstate_[rv].choice.sched_index];
+    // Coordinated per-cluster coin.
+    std::uint64_t h = util::mix_seed(seed_, epoch * 64 + i);
+    h = util::mix_seed(h, sched.center(v));
+    const double u01 = static_cast<double>(h >> 11) * 0x1.0p-53;
+    if (u01 >= cluster_p) continue;
+    if (!rng.bernoulli(node_p)) continue;
+    tx_nodes_.push_back(v);
+    tx_payload_.push_back(best[v]);
+  }
+  reached_list_.resize(w);
+
+  if (!tx_nodes_.empty()) {
+    net_.step_sparse(tx_nodes_, tx_payload_, sparse_out_);
+    stats_.decay_deliveries += sparse_out_.deliveries.size();
+    for (const auto& d : sparse_out_.deliveries) {
+      const NodeId v = d.node;
+      if (best[v] == radio::kNoPayload || d.payload > best[v]) {
+        best[v] = d.payload;
+      }
+      const std::uint32_t rv = region_of_[v];
+      if (rv == graph::kInvalidNode || region_of_[d.from] != rv) continue;
+      const schedule::TreeSchedule& sched =
+          *scheds_[rstate_[rv].choice.sched_index];
+      if (sched.center(d.from) != sched.center(v)) continue;
+      // Same fine cluster: v now holds its cluster's message — the rescue
+      // of Lemma 4.2 — and can also relay it up during inward passes.
+      if (!reached_[v]) {
+        mark_reached(v);
+        ++stats_.rescued;
+      }
+      if (upval_[v] == radio::kNoPayload || d.payload > upval_[v]) {
+        upval_[v] = d.payload;
+      }
+    }
+  }
+  ++stats_.background_rounds;
+}
+
+std::uint32_t PropagationEngine::step(std::vector<Payload>& best,
+                                      util::Rng& rng) {
+  if (!started_) {
+    started_ = true;
+    for (std::uint32_t r = 0; r < region_count_; ++r) start_window(r, best);
+  }
+  wave_round(best);
+  if (icp_background_) {
+    background_round(best, rng);
+    return 2;
+  }
+  return 1;
+}
+
+}  // namespace radiocast::core

@@ -1,0 +1,162 @@
+// PropagationEngine: the windowed Intra-Cluster Propagation machinery that
+// realises BOTH processes of Compete (Section 3).
+//
+// The observation that lets one engine serve both: Algorithm 2 (the
+// background process) is exactly Algorithm 1 (the main process) with a
+// trivial coarse clustering (one coarse cluster covering V), a fixed beta
+// (D^-0.1) instead of a random one, a round-robin instead of a random
+// sequence, and a longer curtail (log n / beta instead of
+// log n / (beta log D)). So the engine is parameterised by:
+//
+//   * a "coarse" region partition (nodes of different regions never share
+//     fine clusters; their window clocks are independent),
+//   * a grid of fine TreeSchedules (clusterings computed inside regions),
+//   * a choice function (coarse centre, sequence position) -> (schedule,
+//     hop budget) implementing step 5's shared-randomness sequence or the
+//     background's round-robin,
+//
+// and Compete instantiates it twice, interleaving their steps 1:1.
+//
+// Each engine step runs one round of the scheduled wave (Algorithm 3's
+// current pass, per-region desynchronised) and — when enabled — one round
+// of the engine's own Decay background stream (Algorithm 4), so one step
+// consumes 2 physical rounds, 4 per Compete step across both engines,
+// matching the paper's alternating construction.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cluster/exponential_shifts.hpp"
+#include "graph/graph.hpp"
+#include "radio/network.hpp"
+#include "schedule/bfs_schedule.hpp"
+#include "util/rng.hpp"
+
+namespace radiocast::core {
+
+using graph::NodeId;
+using radio::Payload;
+
+/// What a region runs in its next window.
+struct WindowChoice {
+  std::uint32_t sched_index = 0;  // into Config::scheds
+  std::uint32_t pass_hops = 1;    // the curtail ell
+};
+
+struct PropagationStats {
+  std::uint64_t main_rounds = 0;       // scheduled-wave rounds
+  std::uint64_t background_rounds = 0; // Algorithm 4 rounds
+  std::uint64_t windows_started = 0;
+  std::uint64_t wave_deliveries = 0;   // successful scheduled hops
+  std::uint64_t wave_blocked = 0;      // hops lost to foreign transmitters
+  std::uint64_t decay_deliveries = 0;
+  std::uint64_t rescued = 0;           // risky nodes re-attached by decay
+};
+
+class PropagationEngine {
+ public:
+  struct Config {
+    const graph::Graph* graph = nullptr;
+    /// Region partition ("coarse" clustering). Fine schedules must have
+    /// been computed with partition_regions over this partition's centres
+    /// (or over the whole graph when this partition is trivial).
+    const cluster::Partition* regions = nullptr;
+    std::vector<const schedule::TreeSchedule*> scheds;
+    std::function<WindowChoice(NodeId region_center, std::uint64_t pos)>
+        choose;
+    bool icp_background = true;  // Algorithm 4 stream
+    std::uint64_t seed = 0;
+  };
+
+  explicit PropagationEngine(const Config& cfg);
+
+  /// Advances the engine by one step over the shared knowledge vector
+  /// `best` (node -> highest message known, radio::kNoPayload if none).
+  /// Returns physical rounds consumed (1, or 2 with the background stream).
+  std::uint32_t step(std::vector<Payload>& best, util::Rng& rng);
+
+  const PropagationStats& stats() const { return stats_; }
+
+ private:
+  // ---- static structure --------------------------------------------------
+  const graph::Graph* g_;
+  const cluster::Partition* regions_;
+  std::vector<const schedule::TreeSchedule*> scheds_;
+  std::function<WindowChoice(NodeId, std::uint64_t)> choose_;
+  bool icp_background_;
+  std::uint64_t seed_;
+  radio::Network net_;  // physical medium for the Decay background stream
+
+  std::uint32_t region_count_ = 0;
+  std::vector<std::uint32_t> region_of_;     // dense region id per node
+  std::vector<NodeId> region_center_;        // per dense id
+  std::vector<std::uint32_t> member_off_;    // CSR: region -> member nodes
+  std::vector<NodeId> member_;
+
+  /// Per schedule: members of each region sorted by tree depth, with
+  /// per-depth offsets, enabling O(#transmitters) wave rounds.
+  struct SchedIndex {
+    std::vector<NodeId> nodes;                // grouped by region, by depth
+    std::vector<std::uint32_t> region_start;  // size region_count+1
+    std::vector<std::uint32_t> depth_start;   // per region: start into off_
+    std::vector<std::uint32_t> off;           // flattened depth offsets
+    std::uint32_t levels(std::uint32_t r) const {
+      return depth_start[r + 1] - depth_start[r] - 1;
+    }
+  };
+  std::vector<SchedIndex> index_;
+
+  // ---- per-region window state -------------------------------------------
+  enum class Phase : std::uint8_t { kOutA = 0, kInward = 1, kOutC = 2 };
+  struct RegionState {
+    std::uint64_t seq_pos = 0;
+    WindowChoice choice{};
+    Phase phase = Phase::kOutA;
+    std::uint32_t phase_round = 0;
+    std::uint32_t pass_len = 1;  // rounds per pass (hops, or hops*period)
+    std::uint32_t span = 1;      // hop budget
+  };
+  std::vector<RegionState> rstate_;
+
+  // ---- per-node wave state -----------------------------------------------
+  std::vector<std::uint8_t> reached_;
+  std::vector<Payload> upval_;
+  std::vector<Payload> snap_;  // centre snapshot (entry used at centres)
+  std::vector<NodeId> reached_list_;  // compacted lazily (decay stream)
+  std::vector<std::uint8_t> in_list_; // membership flags for reached_list_
+  bool started_ = false;
+
+  // round-stamped scratch
+  std::vector<std::uint64_t> foreign_at_;
+  std::vector<std::uint64_t> tx_at_;
+  std::uint64_t round_id_ = 0;
+
+  std::vector<NodeId> tx_nodes_;
+  std::vector<Payload> tx_payload_;
+  radio::Network::SparseOutcome sparse_out_;
+
+  // decay background clock
+  std::uint64_t bg_clock_ = 0;
+  std::uint32_t lambda_;
+
+  PropagationStats stats_;
+
+  // ---- helpers ------------------------------------------------------------
+  void build_region_structures();
+  void build_sched_index(std::size_t s);
+  void start_window(std::uint32_t region, std::vector<Payload>& best);
+  void begin_phase(std::uint32_t region, Phase phase,
+                   std::vector<Payload>& best);
+  void finish_inward(std::uint32_t region, std::vector<Payload>& best);
+  void wave_round(std::vector<Payload>& best);
+  void background_round(std::vector<Payload>& best, util::Rng& rng);
+  void mark_reached(NodeId v);
+
+  /// Transmitting depth for a region this round, or kNoDepth when idle.
+  static constexpr std::uint32_t kNoDepth = static_cast<std::uint32_t>(-1);
+  std::uint32_t transmit_depth(const RegionState& st) const;
+};
+
+}  // namespace radiocast::core

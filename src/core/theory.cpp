@@ -1,0 +1,83 @@
+#include "core/theory.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/math.hpp"
+
+namespace radiocast::core::theory {
+
+namespace {
+double dlog(std::uint64_t x) {
+  return util::safe_log2(static_cast<double>(x));
+}
+double polylog3(std::uint64_t n) {
+  const double l = dlog(n);
+  return l * l * l;
+}
+}  // namespace
+
+double bound_cd(std::uint64_t n, std::uint64_t d) {
+  return static_cast<double>(d) * dlog(n) / dlog(d) + polylog3(n);
+}
+
+double bound_compete(std::uint64_t n, std::uint64_t d, std::uint64_t sources) {
+  return bound_cd(n, d) +
+         static_cast<double>(sources) *
+             util::fpow(static_cast<double>(d), 0.125);
+}
+
+double bound_hw(std::uint64_t n, std::uint64_t d) {
+  return static_cast<double>(d) * dlog(n) * util::safe_log2(dlog(n)) /
+             dlog(d) +
+         polylog3(n);
+}
+
+double bound_bgi(std::uint64_t n, std::uint64_t d) {
+  return (static_cast<double>(d) + dlog(n)) * dlog(n);
+}
+
+double bound_crkp(std::uint64_t n, std::uint64_t d) {
+  const double ratio = std::max(2.0, static_cast<double>(n) /
+                                         std::max<double>(1.0, static_cast<double>(d)));
+  return static_cast<double>(d) * std::log2(ratio) + dlog(n) * dlog(n);
+}
+
+double lower_bound_no_spontaneous(std::uint64_t n, std::uint64_t d) {
+  return bound_crkp(n, d);
+}
+
+double lower_bound_spontaneous(std::uint64_t n, std::uint64_t d) {
+  return static_cast<double>(d) + dlog(n) * dlog(n);
+}
+
+double bound_gh_le(std::uint64_t n, std::uint64_t d) {
+  const double ratio = std::max(2.0, static_cast<double>(n) /
+                                         std::max<double>(1.0, static_cast<double>(d)));
+  const double base = static_cast<double>(d) * std::log2(ratio) + polylog3(n);
+  const double factor =
+      std::min(util::safe_log2(dlog(n)), std::log2(ratio));
+  return base * std::max(1.0, factor);
+}
+
+double bound_binary_search_le(std::uint64_t n, std::uint64_t d) {
+  return bound_crkp(n, d) * dlog(n);
+}
+
+double bound_cluster_distance(std::uint64_t n, std::uint64_t d, double beta) {
+  return dlog(n) / (beta * dlog(d));
+}
+
+double bound_strong_diameter(std::uint64_t n, double beta) {
+  return dlog(n) / beta;
+}
+
+double bound_bad_subpaths(std::uint64_t d) {
+  return util::fpow(static_cast<double>(d), 0.63);
+}
+
+double bound_subpath_badness(std::uint64_t d) {
+  return util::fpow(static_cast<double>(d), -0.26);
+}
+
+}  // namespace radiocast::core::theory

@@ -1,0 +1,53 @@
+// Closed-form reference curves for every bound the paper states or cites.
+// The bench harness prints measured values next to these so EXPERIMENTS.md
+// can record paper-vs-measured shape comparisons. All formulas drop
+// constant factors (they return the bound's growth term, with polylog
+// additives spelled out where the paper states them).
+#pragma once
+
+#include <cstdint>
+
+namespace radiocast::core::theory {
+
+/// Czumaj-Davies broadcast / leader election (Theorems 5.1, 5.2):
+/// D log n / log D + polylog n  (we use log^3 n for the additive term).
+double bound_cd(std::uint64_t n, std::uint64_t d);
+
+/// Compete (Theorem 4.1): D log n / log D + |S| D^0.125 + polylog n.
+double bound_compete(std::uint64_t n, std::uint64_t d, std::uint64_t sources);
+
+/// Haeupler-Wajc broadcast: D log n log log n / log D + polylog n.
+double bound_hw(std::uint64_t n, std::uint64_t d);
+
+/// Bar-Yehuda-Goldreich-Itai Decay broadcast: (D + log n) log n.
+double bound_bgi(std::uint64_t n, std::uint64_t d);
+
+/// Czumaj-Rytter / Kowalski-Pelc broadcast: D log(n/D) + log^2 n.
+double bound_crkp(std::uint64_t n, std::uint64_t d);
+
+/// Lower bound without spontaneous transmissions: D log(n/D) + log^2 n.
+double lower_bound_no_spontaneous(std::uint64_t n, std::uint64_t d);
+
+/// Lower bound with spontaneous transmissions: D + log^2 n.
+double lower_bound_spontaneous(std::uint64_t n, std::uint64_t d);
+
+/// Ghaffari-Haeupler leader election:
+/// (D log(n/D) + log^3 n) * min(log log n, log(n/D)).
+double bound_gh_le(std::uint64_t n, std::uint64_t d);
+
+/// Binary-search leader election: T_BC * log n with T_BC = bound_crkp.
+double bound_binary_search_le(std::uint64_t n, std::uint64_t d);
+
+/// Theorem 2.2 distance-to-centre bound: log n / (beta log D).
+double bound_cluster_distance(std::uint64_t n, std::uint64_t d, double beta);
+
+/// Lemma 2.1 strong diameter bound: log n / beta.
+double bound_strong_diameter(std::uint64_t n, double beta);
+
+/// Lemma 4.4: O(D^0.63) bad subpaths per shortest path.
+double bound_bad_subpaths(std::uint64_t d);
+
+/// Lemma 4.3 badness probability of a length-D^0.12 subpath: D^-0.26.
+double bound_subpath_badness(std::uint64_t d);
+
+}  // namespace radiocast::core::theory

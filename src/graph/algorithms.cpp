@@ -1,0 +1,215 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <stdexcept>
+
+namespace radiocast::graph {
+
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source) {
+  return bfs_tree(g, source).dist;
+}
+
+BfsTree bfs_tree(const Graph& g, NodeId source) {
+  const NodeId n = g.node_count();
+  if (source >= n) throw std::out_of_range("bfs: source out of range");
+  BfsTree t;
+  t.dist.assign(n, kUnreachable);
+  t.parent.assign(n, kInvalidNode);
+  std::vector<NodeId> frontier{source};
+  std::vector<NodeId> next;
+  t.dist[source] = 0;
+  t.parent[source] = source;
+  std::uint32_t level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    next.clear();
+    for (NodeId u : frontier) {
+      for (NodeId v : g.neighbors(u)) {
+        if (t.dist[v] == kUnreachable) {
+          t.dist[v] = level;
+          t.parent[v] = u;
+          next.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return t;
+}
+
+MultiBfs multi_source_bfs(const Graph& g, const std::vector<NodeId>& sources) {
+  const NodeId n = g.node_count();
+  MultiBfs r;
+  r.dist.assign(n, kUnreachable);
+  r.nearest_source.assign(n, kInvalidNode);
+  std::vector<NodeId> frontier;
+  frontier.reserve(sources.size());
+  for (NodeId s : sources) {
+    if (s >= n) throw std::out_of_range("multi_source_bfs: source OOR");
+    if (r.dist[s] == kUnreachable) {
+      r.dist[s] = 0;
+      r.nearest_source[s] = s;
+      frontier.push_back(s);
+    }
+  }
+  std::vector<NodeId> next;
+  std::uint32_t level = 0;
+  while (!frontier.empty()) {
+    ++level;
+    next.clear();
+    for (NodeId u : frontier) {
+      for (NodeId v : g.neighbors(u)) {
+        if (r.dist[v] == kUnreachable) {
+          r.dist[v] = level;
+          r.nearest_source[v] = r.nearest_source[u];
+          next.push_back(v);
+        }
+      }
+    }
+    frontier.swap(next);
+  }
+  return r;
+}
+
+std::vector<NodeId> connected_components(const Graph& g) {
+  const NodeId n = g.node_count();
+  std::vector<NodeId> comp(n, kInvalidNode);
+  NodeId next_id = 0;
+  std::vector<NodeId> stack;
+  for (NodeId s = 0; s < n; ++s) {
+    if (comp[s] != kInvalidNode) continue;
+    comp[s] = next_id;
+    stack.push_back(s);
+    while (!stack.empty()) {
+      const NodeId u = stack.back();
+      stack.pop_back();
+      for (NodeId v : g.neighbors(u)) {
+        if (comp[v] == kInvalidNode) {
+          comp[v] = next_id;
+          stack.push_back(v);
+        }
+      }
+    }
+    ++next_id;
+  }
+  return comp;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.node_count() == 0) return true;
+  const auto d = bfs_distances(g, 0);
+  return std::find(d.begin(), d.end(), kUnreachable) == d.end();
+}
+
+std::uint32_t eccentricity(const Graph& g, NodeId v) {
+  const auto d = bfs_distances(g, v);
+  std::uint32_t ecc = 0;
+  for (std::uint32_t x : d) {
+    if (x == kUnreachable) {
+      throw std::invalid_argument("eccentricity: graph is disconnected");
+    }
+    ecc = std::max(ecc, x);
+  }
+  return ecc;
+}
+
+std::uint32_t diameter_exact(const Graph& g) {
+  std::uint32_t best = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    best = std::max(best, eccentricity(g, v));
+  }
+  return best;
+}
+
+std::uint32_t diameter_double_sweep(const Graph& g, NodeId start) {
+  const auto d1 = bfs_distances(g, start);
+  NodeId far1 = start;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (d1[v] != kUnreachable && d1[v] > d1[far1]) far1 = v;
+  }
+  const auto d2 = bfs_distances(g, far1);
+  std::uint32_t best = 0;
+  for (std::uint32_t x : d2) {
+    if (x != kUnreachable) best = std::max(best, x);
+  }
+  return best;
+}
+
+std::pair<std::uint32_t, std::uint32_t> diameter_bounds(const Graph& g) {
+  if (g.node_count() == 0) return {0, 0};
+  const auto d1 = bfs_distances(g, 0);
+  NodeId far1 = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (d1[v] != kUnreachable && d1[v] > d1[far1]) far1 = v;
+  }
+  const auto t = bfs_tree(g, far1);
+  NodeId far2 = far1;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (t.dist[v] != kUnreachable && t.dist[v] > t.dist[far2]) far2 = v;
+  }
+  const std::uint32_t lower = t.dist[far2];
+  // Midpoint of the far1->far2 path; its eccentricity*2 upper-bounds D.
+  NodeId mid = far2;
+  for (std::uint32_t hop = 0; hop < lower / 2; ++hop) mid = t.parent[mid];
+  const std::uint32_t upper = 2 * eccentricity(g, mid);
+  return {lower, std::max(lower, upper)};
+}
+
+std::vector<NodeId> shortest_path(const Graph& g, NodeId u, NodeId v) {
+  const BfsTree t = bfs_tree(g, u);
+  if (v >= g.node_count() || t.dist[v] == kUnreachable) return {};
+  std::vector<NodeId> rev;
+  for (NodeId cur = v; cur != u; cur = t.parent[cur]) rev.push_back(cur);
+  rev.push_back(u);
+  std::reverse(rev.begin(), rev.end());
+  return rev;
+}
+
+std::uint32_t degeneracy(const Graph& g) {
+  const NodeId n = g.node_count();
+  if (n == 0) return 0;
+  std::vector<std::uint32_t> deg(n);
+  std::uint32_t max_deg = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    deg[v] = g.degree(v);
+    max_deg = std::max(max_deg, deg[v]);
+  }
+  // Bucket queue over degrees.
+  std::vector<std::vector<NodeId>> buckets(max_deg + 1);
+  for (NodeId v = 0; v < n; ++v) buckets[deg[v]].push_back(v);
+  std::vector<bool> removed(n, false);
+  std::uint32_t degen = 0;
+  std::uint32_t cursor = 0;
+  for (NodeId iter = 0; iter < n; ++iter) {
+    while (cursor <= max_deg && buckets[cursor].empty()) ++cursor;
+    // Lazy deletion: entries may be stale (degree since decreased).
+    NodeId v = kInvalidNode;
+    while (cursor <= max_deg) {
+      if (buckets[cursor].empty()) {
+        ++cursor;
+        continue;
+      }
+      const NodeId cand = buckets[cursor].back();
+      buckets[cursor].pop_back();
+      if (!removed[cand] && deg[cand] == cursor) {
+        v = cand;
+        break;
+      }
+    }
+    if (v == kInvalidNode) break;
+    degen = std::max(degen, deg[v]);
+    removed[v] = true;
+    for (NodeId w : g.neighbors(v)) {
+      if (!removed[w] && deg[w] > 0) {
+        --deg[w];
+        buckets[deg[w]].push_back(w);
+        if (deg[w] < cursor) cursor = deg[w];
+      }
+    }
+  }
+  return degen;
+}
+
+}  // namespace radiocast::graph

@@ -1,0 +1,60 @@
+// Centralized graph algorithms used by generators, clustering statistics,
+// theory predictions, and tests. These run outside the radio model (they
+// are analysis tools, not distributed protocols).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace radiocast::graph {
+
+constexpr std::uint32_t kUnreachable = static_cast<std::uint32_t>(-1);
+
+/// BFS distances from `source`; kUnreachable where disconnected.
+std::vector<std::uint32_t> bfs_distances(const Graph& g, NodeId source);
+
+/// BFS distances and parent pointers (parent of source = source).
+struct BfsTree {
+  std::vector<std::uint32_t> dist;
+  std::vector<NodeId> parent;
+};
+BfsTree bfs_tree(const Graph& g, NodeId source);
+
+/// Multi-source BFS: distance to the nearest source, and which source won
+/// (ties broken by smaller source id via queue order).
+struct MultiBfs {
+  std::vector<std::uint32_t> dist;
+  std::vector<NodeId> nearest_source;
+};
+MultiBfs multi_source_bfs(const Graph& g, const std::vector<NodeId>& sources);
+
+/// Connected component id per node, ids dense in [0, #components).
+std::vector<NodeId> connected_components(const Graph& g);
+
+bool is_connected(const Graph& g);
+
+/// Eccentricity of `v` (max BFS distance; graph must be connected).
+std::uint32_t eccentricity(const Graph& g, NodeId v);
+
+/// Exact diameter via BFS from every node. O(n(n+m)); use for n <~ 20k.
+std::uint32_t diameter_exact(const Graph& g);
+
+/// Double-sweep lower bound on the diameter (exact on trees); cheap and
+/// used by default in benches where n is large.
+std::uint32_t diameter_double_sweep(const Graph& g, NodeId start = 0);
+
+/// iFUB-style refinement: double sweep + eccentricity of a midpoint;
+/// returns a (lower, upper) diameter estimate pair.
+std::pair<std::uint32_t, std::uint32_t> diameter_bounds(const Graph& g);
+
+/// Shortest path from u to v as a node sequence (inclusive); empty if
+/// unreachable. This is the "canonical shortest path" of Section 4 of the
+/// paper: we fix BFS-tree paths, deterministic given the graph.
+std::vector<NodeId> shortest_path(const Graph& g, NodeId u, NodeId v);
+
+/// Degeneracy (max over the degeneracy ordering of remaining degree).
+std::uint32_t degeneracy(const Graph& g);
+
+}  // namespace radiocast::graph

@@ -1,0 +1,93 @@
+// Graph families used throughout the experiments.
+//
+// The paper's regime of interest is D polynomial in n (large diameter), so
+// besides the classic random families we provide generators whose diameter
+// is a controllable parameter: paths of cliques, grids with aspect ratio,
+// caterpillars, and "necklace" graphs (cycle of expanders). Every generator
+// returns a connected graph (generators based on random models repair
+// connectivity and document how).
+#pragma once
+
+#include <cstdint>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace radiocast::graph {
+
+/// Simple path v0 - v1 - ... - v_{n-1}. Diameter n-1.
+Graph path(NodeId n);
+
+/// Cycle on n >= 3 nodes. Diameter floor(n/2).
+Graph cycle(NodeId n);
+
+/// Complete graph on n nodes. Diameter 1.
+Graph clique(NodeId n);
+
+/// Star with n-1 leaves. Diameter 2.
+Graph star(NodeId n);
+
+/// rows x cols grid, 4-neighbour. Diameter rows+cols-2.
+Graph grid(NodeId rows, NodeId cols);
+
+/// rows x cols torus (wrap-around grid), 4-neighbour.
+Graph torus(NodeId rows, NodeId cols);
+
+/// Complete binary tree with n nodes (heap indexing). Diameter ~2 log n.
+Graph balanced_binary_tree(NodeId n);
+
+/// Uniform random recursive tree: node i attaches to uniform j < i.
+/// Diameter Theta(log n) whp.
+Graph random_recursive_tree(NodeId n, util::Rng& rng);
+
+/// Caterpillar: a spine path of `spine` nodes, each with `legs` leaves.
+/// Diameter spine+1. n = spine * (legs + 1).
+Graph caterpillar(NodeId spine, NodeId legs);
+
+/// d-dimensional hypercube: n = 2^dim nodes, diameter dim.
+Graph hypercube(std::uint32_t dim);
+
+/// Erdos-Renyi G(n, p); if disconnected, components are stitched by a
+/// random edge between consecutive components (documented repair; adds
+/// < #components extra edges).
+Graph gnp(NodeId n, double p, util::Rng& rng);
+
+/// Random geometric graph (unit-disk model): n points uniform in the unit
+/// square, edge iff distance <= radius. Connectivity repaired by linking
+/// each component to its nearest other component (closest-pair heuristic).
+/// This is the canonical "sensor network" topology for radio networks.
+Graph random_geometric(NodeId n, double radius, util::Rng& rng);
+
+/// Path of cliques ("beads"): `beads` cliques of size `bead_size` strung on
+/// a path, consecutive cliques joined by one edge between representatives.
+/// n = beads * bead_size, D = 3*beads - ... ~ 3*beads. This family realises
+/// "D polynomial in n" with dense local neighbourhoods, the regime where the
+/// paper's algorithm shines.
+Graph path_of_cliques(NodeId beads, NodeId bead_size);
+
+/// Cylinder: path of `len` segments each a cycle of `girth` nodes, with
+/// corresponding nodes of consecutive rings joined. D ~ len + girth/2.
+Graph cylinder(NodeId len, NodeId girth);
+
+/// Barbell: two cliques of size k joined by a path of length path_len.
+Graph barbell(NodeId k, NodeId path_len);
+
+/// Lollipop: clique of size k with a path of length path_len attached.
+Graph lollipop(NodeId k, NodeId path_len);
+
+/// Random d-regular-ish expander-like graph via the union of `d/2` random
+/// permutation cycles (d even, d >= 2). Connectivity repaired by stitching.
+/// Diameter O(log n) whp.
+Graph random_regularish(NodeId n, std::uint32_t d, util::Rng& rng);
+
+/// "Necklace": `beads` expander beads of size `bead_size` arranged in a
+/// cycle, joined by single edges. D ~ beads.
+Graph necklace(NodeId beads, NodeId bead_size, std::uint32_t d,
+               util::Rng& rng);
+
+/// A family for diameter-controlled experiments: n total nodes arranged as a
+/// path of cliques with approximately the requested diameter d (d >= 3).
+/// Ensures n nodes exactly by spreading remainder over beads.
+Graph diameter_controlled(NodeId n, NodeId d);
+
+}  // namespace radiocast::graph

@@ -1,0 +1,87 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace radiocast::graph {
+
+std::uint32_t Graph::max_degree() const {
+  std::uint32_t best = 0;
+  for (NodeId v = 0; v < node_count(); ++v) best = std::max(best, degree(v));
+  return best;
+}
+
+double Graph::average_degree() const {
+  const NodeId n = node_count();
+  if (n == 0) return 0.0;
+  return static_cast<double>(adjacency_.size()) / static_cast<double>(n);
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  if (u >= node_count() || v >= node_count()) return false;
+  const auto row = neighbors(u);
+  return std::binary_search(row.begin(), row.end(), v);
+}
+
+std::vector<std::pair<NodeId, NodeId>> Graph::edges() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(edge_count());
+  for (NodeId u = 0; u < node_count(); ++u) {
+    for (NodeId v : neighbors(u)) {
+      if (u < v) out.emplace_back(u, v);
+    }
+  }
+  return out;
+}
+
+std::string Graph::summary() const {
+  std::ostringstream os;
+  os << "Graph(n=" << node_count() << ", m=" << edge_count()
+     << ", max_deg=" << max_degree() << ")";
+  return os.str();
+}
+
+GraphBuilder::GraphBuilder(NodeId node_count) : n_(node_count) {}
+
+void GraphBuilder::add_edge(NodeId u, NodeId v) {
+  if (u >= n_ || v >= n_) {
+    throw std::out_of_range("GraphBuilder::add_edge: node id out of range");
+  }
+  if (u == v) return;
+  if (u > v) std::swap(u, v);
+  edges_.emplace_back(u, v);
+}
+
+Graph GraphBuilder::build() const {
+  std::vector<std::pair<NodeId, NodeId>> sorted = edges_;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+
+  Graph g;
+  g.offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (const auto& [u, v] : sorted) {
+    ++g.offsets_[u + 1];
+    ++g.offsets_[v + 1];
+  }
+  for (std::size_t i = 1; i < g.offsets_.size(); ++i) {
+    g.offsets_[i] += g.offsets_[i - 1];
+  }
+  g.adjacency_.resize(sorted.size() * 2);
+  std::vector<std::uint64_t> cursor(g.offsets_.begin(), g.offsets_.end() - 1);
+  for (const auto& [u, v] : sorted) {
+    g.adjacency_[cursor[u]++] = v;
+    g.adjacency_[cursor[v]++] = u;
+  }
+  // Rows are sorted because edge list was globally sorted and each row is
+  // filled in increasing neighbour order for the first endpoint; for the
+  // second endpoint order can break, so sort rows defensively.
+  for (NodeId v = 0; v < n_; ++v) {
+    std::sort(g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v]),
+              g.adjacency_.begin() + static_cast<std::ptrdiff_t>(g.offsets_[v + 1]));
+  }
+  return g;
+}
+
+}  // namespace radiocast::graph

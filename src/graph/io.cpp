@@ -1,0 +1,68 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace radiocast::graph {
+
+void write_edge_list(const Graph& g, std::ostream& os) {
+  os << g.node_count() << ' ' << g.edge_count() << '\n';
+  for (const auto& [u, v] : g.edges()) {
+    os << u << ' ' << v << '\n';
+  }
+}
+
+bool write_edge_list_file(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_edge_list(g, out);
+  return static_cast<bool>(out);
+}
+
+Graph read_edge_list(std::istream& is) {
+  std::string line;
+  NodeId n = 0;
+  std::uint64_t m = 0;
+  bool have_header = false;
+  GraphBuilder builder(0);
+  std::uint64_t edges_seen = 0;
+  while (std::getline(is, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream ls(line);
+    if (!have_header) {
+      if (ls >> n >> m) {
+        have_header = true;
+        builder = GraphBuilder(n);
+      } else if (!line.empty() && line.find_first_not_of(" \t\r") != std::string::npos) {
+        throw std::invalid_argument("read_edge_list: missing 'n m' header");
+      }
+      continue;
+    }
+    NodeId u, v;
+    if (ls >> u >> v) {
+      builder.add_edge(u, v);
+      ++edges_seen;
+    }
+  }
+  if (!have_header) {
+    throw std::invalid_argument("read_edge_list: empty input");
+  }
+  if (edges_seen != m) {
+    throw std::invalid_argument("read_edge_list: header declares " +
+                                std::to_string(m) + " edges, found " +
+                                std::to_string(edges_seen));
+  }
+  return builder.build();
+}
+
+Graph read_edge_list_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::invalid_argument("read_edge_list_file: cannot open " + path);
+  }
+  return read_edge_list(in);
+}
+
+}  // namespace radiocast::graph

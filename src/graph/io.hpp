@@ -1,0 +1,21 @@
+// Edge-list I/O so experiments can be re-run on externally supplied
+// topologies (one "u v" pair per line, '#' comments, 0-based ids).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace radiocast::graph {
+
+/// Writes "n m" header then one edge per line.
+void write_edge_list(const Graph& g, std::ostream& os);
+bool write_edge_list_file(const Graph& g, const std::string& path);
+
+/// Parses the format produced by write_edge_list. Throws
+/// std::invalid_argument on malformed input.
+Graph read_edge_list(std::istream& is);
+Graph read_edge_list_file(const std::string& path);
+
+}  // namespace radiocast::graph

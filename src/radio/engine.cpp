@@ -1,0 +1,86 @@
+#include "radio/engine.hpp"
+
+#include <stdexcept>
+
+namespace radiocast::radio {
+
+Engine::Engine(const graph::Graph& g, std::uint32_t diameter_hint,
+               CollisionModel model)
+    : graph_(&g), network_(g, model), diameter_hint_(diameter_hint) {
+  const auto n = g.node_count();
+  transmit_.assign(n, 0);
+  payload_.assign(n, kNoPayload);
+}
+
+void Engine::install(
+    const std::function<std::unique_ptr<Protocol>(graph::NodeId)>& make,
+    util::Rng& seed_rng) {
+  const graph::NodeId n = graph_->node_count();
+  protocols_.clear();
+  protocols_.reserve(n);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    protocols_.push_back(make(v));
+    if (!protocols_.back()) {
+      throw std::invalid_argument("Engine::install: factory returned null");
+    }
+    NodeInfo info;
+    info.node_id = v;
+    info.n = n;
+    info.diameter = diameter_hint_;
+    protocols_.back()->start(info, seed_rng.fork(v));
+  }
+  round_ = 0;
+  network_.reset_counters();
+}
+
+const RoundOutcome& Engine::step_once() {
+  const graph::NodeId n = graph_->node_count();
+  if (protocols_.size() != n) {
+    throw std::logic_error("Engine::step_once: protocols not installed");
+  }
+  for (graph::NodeId v = 0; v < n; ++v) {
+    const Action a = protocols_[v]->on_round(round_);
+    transmit_[v] = a.transmit ? 1 : 0;
+    payload_[v] = a.payload;
+  }
+  network_.step(transmit_, payload_, outcome_);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (outcome_.reception[v] == Reception::kMessage) {
+      protocols_[v]->on_message(round_, outcome_.received_payload[v]);
+    } else if (outcome_.reception[v] == Reception::kCollision) {
+      protocols_[v]->on_collision(round_);
+    }
+  }
+  if (trace_ != nullptr) trace_->record(round_, outcome_);
+  ++round_;
+  return outcome_;
+}
+
+EngineResult Engine::run(Round max_rounds,
+                         const std::function<bool(const Engine&)>& stop) {
+  EngineResult r;
+  const graph::NodeId n = graph_->node_count();
+  while (round_ < max_rounds) {
+    step_once();
+    bool all_done = true;
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (!protocols_[v]->done()) {
+        all_done = false;
+        break;
+      }
+    }
+    if (all_done) {
+      r.all_done = true;
+      break;
+    }
+    if (stop && stop(*this)) break;
+  }
+  r.rounds = round_;
+  r.hit_round_limit = (round_ >= max_rounds) && !r.all_done;
+  r.transmissions = network_.total_transmissions();
+  r.deliveries = network_.total_deliveries();
+  r.collisions = network_.total_collisions();
+  return r;
+}
+
+}  // namespace radiocast::radio

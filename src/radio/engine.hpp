@@ -1,0 +1,70 @@
+// Round-driving engine: owns one Protocol instance per node, queries
+// actions, resolves the medium via Network, and delivers receptions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "radio/model.hpp"
+#include "radio/network.hpp"
+#include "radio/protocol.hpp"
+#include "radio/trace.hpp"
+#include "util/rng.hpp"
+
+namespace radiocast::radio {
+
+struct EngineResult {
+  Round rounds = 0;
+  bool all_done = false;            // every protocol reported done()
+  bool hit_round_limit = false;
+  std::uint64_t transmissions = 0;
+  std::uint64_t deliveries = 0;
+  std::uint64_t collisions = 0;
+};
+
+class Engine {
+ public:
+  /// `diameter_hint` is the D value passed to protocols (the model assumes
+  /// nodes know D; pass the true diameter or an upper bound).
+  Engine(const graph::Graph& g, std::uint32_t diameter_hint,
+         CollisionModel model = CollisionModel::kNoDetection);
+
+  /// Installs one protocol per node. `make` is called with the node id so
+  /// heterogeneous roles (e.g. a designated source) are expressible.
+  void install(
+      const std::function<std::unique_ptr<Protocol>(graph::NodeId)>& make,
+      util::Rng& seed_rng);
+
+  /// Runs until `max_rounds` or all protocols report done().
+  /// `stop` (optional) is evaluated after each round with the engine and
+  /// can end the run early (used by tests asserting global predicates).
+  EngineResult run(Round max_rounds,
+                   const std::function<bool(const Engine&)>& stop = nullptr);
+
+  /// Runs exactly one round; returns the medium outcome.
+  const RoundOutcome& step_once();
+
+  const Network& network() const { return network_; }
+  Protocol& protocol(graph::NodeId v) { return *protocols_.at(v); }
+  const Protocol& protocol(graph::NodeId v) const { return *protocols_.at(v); }
+  Round round() const { return round_; }
+
+  /// Optional per-round trace recording (disabled by default).
+  void attach_trace(Trace* trace) { trace_ = trace; }
+
+ private:
+  const graph::Graph* graph_;
+  Network network_;
+  std::uint32_t diameter_hint_;
+  std::vector<std::unique_ptr<Protocol>> protocols_;
+  std::vector<std::uint8_t> transmit_;
+  std::vector<Payload> payload_;
+  RoundOutcome outcome_;
+  Round round_ = 0;
+  Trace* trace_ = nullptr;
+};
+
+}  // namespace radiocast::radio

@@ -1,0 +1,132 @@
+#include "radio/network.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace radiocast::radio {
+
+Network::Network(const graph::Graph& g, CollisionModel model)
+    : graph_(&g), model_(model) {
+  const auto n = g.node_count();
+  tx_count_.assign(n, 0);
+  pending_payload_.assign(n, kNoPayload);
+  stamp_.assign(n, 0);
+  touched_.reserve(n);
+}
+
+void Network::step(const std::vector<std::uint8_t>& transmit,
+                   const std::vector<Payload>& payload, RoundOutcome& out) {
+  const graph::NodeId n = graph_->node_count();
+  if (transmit.size() != n || payload.size() != n) {
+    throw std::invalid_argument("Network::step: vector size mismatch");
+  }
+  out.reception.assign(n, Reception::kSilence);
+  out.received_payload.assign(n, kNoPayload);
+  out.transmitter_count = 0;
+  out.delivered_count = 0;
+  out.collided_count = 0;
+
+  ++epoch_;
+  touched_.clear();
+
+  // Pass 1: accumulate per-listener transmitter counts.
+  for (graph::NodeId u = 0; u < n; ++u) {
+    if (!transmit[u]) continue;
+    ++out.transmitter_count;
+    for (graph::NodeId v : graph_->neighbors(u)) {
+      if (stamp_[v] != epoch_) {
+        stamp_[v] = epoch_;
+        tx_count_[v] = 0;
+        pending_payload_[v] = kNoPayload;
+        touched_.push_back(v);
+      }
+      ++tx_count_[v];
+      pending_payload_[v] = payload[u];
+    }
+  }
+
+  // Pass 2: resolve receptions at touched listeners. Transmitters are
+  // half-duplex: they never receive, regardless of neighbours.
+  for (graph::NodeId v : touched_) {
+    if (transmit[v]) continue;
+    if (tx_count_[v] == 1) {
+      out.reception[v] = Reception::kMessage;
+      out.received_payload[v] = pending_payload_[v];
+      ++out.delivered_count;
+    } else if (tx_count_[v] >= 2) {
+      ++out.collided_count;
+      out.reception[v] = model_ == CollisionModel::kDetection
+                             ? Reception::kCollision
+                             : Reception::kSilence;
+    }
+  }
+
+  ++rounds_;
+  total_tx_ += out.transmitter_count;
+  total_delivered_ += out.delivered_count;
+  total_collided_ += out.collided_count;
+}
+
+RoundOutcome Network::step(const std::vector<std::uint8_t>& transmit,
+                           const std::vector<Payload>& payload) {
+  RoundOutcome out;
+  step(transmit, payload, out);
+  return out;
+}
+
+void Network::step_sparse(const std::vector<graph::NodeId>& transmitters,
+                          const std::vector<Payload>& tx_payload,
+                          SparseOutcome& out) {
+  if (transmitters.size() != tx_payload.size()) {
+    throw std::invalid_argument("Network::step_sparse: size mismatch");
+  }
+  out.deliveries.clear();
+  out.transmitter_count = 0;
+  out.collided_count = 0;
+
+  ++epoch_;
+  touched_.clear();
+  if (tx_stamp_.size() != stamp_.size()) {
+    tx_stamp_.assign(stamp_.size(), 0);
+    tx_from_.assign(stamp_.size(), graph::kInvalidNode);
+  }
+  auto& tx_stamp = tx_stamp_;
+  auto& tx_from = tx_from_;
+  for (std::size_t i = 0; i < transmitters.size(); ++i) {
+    const graph::NodeId u = transmitters[i];
+    if (tx_stamp[u] == epoch_) continue;  // duplicate entry: process once
+    tx_stamp[u] = epoch_;
+    ++out.transmitter_count;
+    for (graph::NodeId v : graph_->neighbors(u)) {
+      if (stamp_[v] != epoch_) {
+        stamp_[v] = epoch_;
+        tx_count_[v] = 0;
+        touched_.push_back(v);
+      }
+      ++tx_count_[v];
+      pending_payload_[v] = tx_payload[i];
+      tx_from[v] = u;
+    }
+  }
+  for (graph::NodeId v : touched_) {
+    if (tx_stamp[v] == epoch_) continue;  // half-duplex
+    if (tx_count_[v] == 1) {
+      out.deliveries.push_back({v, tx_from[v], pending_payload_[v]});
+    } else if (tx_count_[v] >= 2) {
+      ++out.collided_count;
+    }
+  }
+  ++rounds_;
+  total_tx_ += out.transmitter_count;
+  total_delivered_ += out.deliveries.size();
+  total_collided_ += out.collided_count;
+}
+
+void Network::reset_counters() {
+  rounds_ = 0;
+  total_tx_ = 0;
+  total_delivered_ = 0;
+  total_collided_ = 0;
+}
+
+}  // namespace radiocast::radio

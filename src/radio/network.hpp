@@ -1,0 +1,103 @@
+// The synchronous radio medium: resolves one round of transmissions into
+// per-node receptions under the chosen collision model.
+//
+// This is the *only* place where the interference rule is implemented; all
+// algorithms (the paper's and the baselines) go through Network::step, so a
+// correctness bug in collision semantics would affect every experiment
+// identically — and is therefore covered by an exhaustive truth-table test.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "radio/model.hpp"
+
+namespace radiocast::radio {
+
+/// Outcome of a single round, from the medium's point of view.
+struct RoundOutcome {
+  /// Per node: what it perceived (transmitters always perceive kSilence —
+  /// radios are half-duplex).
+  std::vector<Reception> reception;
+  /// Per node: the payload received when reception == kMessage.
+  std::vector<Payload> received_payload;
+  std::uint32_t transmitter_count = 0;
+  std::uint32_t delivered_count = 0;   // listeners with exactly 1 tx neighbour
+  std::uint32_t collided_count = 0;    // listeners with >= 2 tx neighbours
+};
+
+class Network {
+ public:
+  explicit Network(const graph::Graph& g,
+                   CollisionModel model = CollisionModel::kNoDetection);
+  /// The network aliases the graph; binding a temporary would dangle.
+  explicit Network(graph::Graph&& g,
+                   CollisionModel model = CollisionModel::kNoDetection) =
+      delete;
+
+  const graph::Graph& topology() const { return *graph_; }
+  CollisionModel collision_model() const { return model_; }
+  graph::NodeId node_count() const { return graph_->node_count(); }
+
+  /// Resolves one round. `transmit[v]` says whether v transmits and
+  /// `payload[v]` what it sends (ignored when not transmitting). The
+  /// outcome's vectors are sized to node_count().
+  ///
+  /// Cost: O(sum of degrees of transmitters), allocation-free after the
+  /// first call (scratch buffers are reused; the outcome reuses `out`).
+  void step(const std::vector<std::uint8_t>& transmit,
+            const std::vector<Payload>& payload, RoundOutcome& out);
+
+  /// Convenience allocating overload.
+  RoundOutcome step(const std::vector<std::uint8_t>& transmit,
+                    const std::vector<Payload>& payload);
+
+  /// One successful reception in a sparse round.
+  struct SparseDelivery {
+    graph::NodeId node;   // the listener
+    graph::NodeId from;   // the unique transmitting neighbour
+    Payload payload;
+  };
+  /// Sparse round outcome: only the nodes that received are listed.
+  struct SparseOutcome {
+    std::vector<SparseDelivery> deliveries;
+    std::uint32_t transmitter_count = 0;
+    std::uint32_t collided_count = 0;
+  };
+
+  /// Resolves one round given only the transmitter list (everyone else
+  /// listens). Cost O(sum of transmitter degrees) — the vectors of the
+  /// dense overload are never touched, so high-round-count algorithm cores
+  /// stay proportional to actual radio activity.
+  /// `transmitters` may contain duplicates (they are counted once).
+  void step_sparse(const std::vector<graph::NodeId>& transmitters,
+                   const std::vector<Payload>& tx_payload,
+                   SparseOutcome& out);
+
+  Round rounds_elapsed() const { return rounds_; }
+  std::uint64_t total_transmissions() const { return total_tx_; }
+  std::uint64_t total_deliveries() const { return total_delivered_; }
+  std::uint64_t total_collisions() const { return total_collided_; }
+  void reset_counters();
+
+ private:
+  const graph::Graph* graph_;
+  CollisionModel model_;
+  Round rounds_ = 0;
+  std::uint64_t total_tx_ = 0;
+  std::uint64_t total_delivered_ = 0;
+  std::uint64_t total_collided_ = 0;
+
+  // Epoch-stamped scratch: tx_neighbors_[v] is valid iff stamp_[v]==epoch_.
+  std::vector<std::uint32_t> tx_count_;
+  std::vector<Payload> pending_payload_;
+  std::vector<std::uint64_t> stamp_;
+  std::uint64_t epoch_ = 0;
+  std::vector<graph::NodeId> touched_;
+  // step_sparse scratch: transmitter marks (half-duplex) and last sender.
+  std::vector<std::uint64_t> tx_stamp_;
+  std::vector<graph::NodeId> tx_from_;
+};
+
+}  // namespace radiocast::radio

@@ -1,0 +1,53 @@
+// Node-local protocol interface.
+//
+// A Protocol is instantiated once per node and sees ONLY what the model
+// allows: the global parameters n and D, its own id, its private random
+// stream, and the messages it successfully receives. It never sees the
+// topology. All distributed algorithms in examples/tests implement this
+// interface; the heavily-vectorised algorithm cores in src/core and
+// src/baselines are semantically equivalent per-node state machines that
+// drive Network::step directly for speed (their equivalence on small
+// instances is asserted by tests).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "radio/model.hpp"
+#include "util/rng.hpp"
+
+namespace radiocast::radio {
+
+/// Knowledge available to a node (the model's "nodes know n and D").
+struct NodeInfo {
+  std::uint32_t node_id = 0;  // unique O(log n)-bit label
+  std::uint32_t n = 0;        // number of nodes in the network
+  std::uint32_t diameter = 0; // (an upper bound on) the diameter D
+};
+
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  /// Called once before round 0.
+  virtual void start(const NodeInfo& info, util::Rng rng) = 0;
+
+  /// Called at the beginning of every round; returns the node's action.
+  virtual Action on_round(Round round) = 0;
+
+  /// Called after a round in which this node listened and received.
+  virtual void on_message(Round round, Payload payload) = 0;
+
+  /// Called after a round with a detected collision; only invoked under
+  /// CollisionModel::kDetection. Default: ignore.
+  virtual void on_collision(Round round) { (void)round; }
+
+  /// Optional termination signal: a protocol may report local completion;
+  /// the engine can stop when all nodes report done.
+  virtual bool done() const { return false; }
+};
+
+/// Creates a fresh protocol instance for each node.
+using ProtocolFactory = std::unique_ptr<Protocol> (*)();
+
+}  // namespace radiocast::radio

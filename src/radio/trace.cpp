@@ -1,0 +1,62 @@
+#include "radio/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "radio/network.hpp"
+
+namespace radiocast::radio {
+
+void Trace::record(Round round, const RoundOutcome& outcome) {
+  RoundStats s;
+  s.round = round;
+  s.transmitters = outcome.transmitter_count;
+  s.deliveries = outcome.delivered_count;
+  s.collisions = outcome.collided_count;
+  rounds_.push_back(s);
+}
+
+std::uint64_t Trace::total_transmitters() const {
+  std::uint64_t t = 0;
+  for (const auto& r : rounds_) t += r.transmitters;
+  return t;
+}
+
+std::uint64_t Trace::total_deliveries() const {
+  std::uint64_t t = 0;
+  for (const auto& r : rounds_) t += r.deliveries;
+  return t;
+}
+
+std::uint64_t Trace::total_collisions() const {
+  std::uint64_t t = 0;
+  for (const auto& r : rounds_) t += r.collisions;
+  return t;
+}
+
+std::string Trace::activity_summary(std::size_t buckets) const {
+  if (rounds_.empty()) return "(no rounds)";
+  buckets = std::min(buckets, rounds_.size());
+  std::vector<double> avg(buckets, 0.0);
+  double peak = 1.0;
+  for (std::size_t b = 0; b < buckets; ++b) {
+    const std::size_t lo = b * rounds_.size() / buckets;
+    const std::size_t hi = (b + 1) * rounds_.size() / buckets;
+    double sum = 0.0;
+    for (std::size_t i = lo; i < hi; ++i) sum += rounds_[i].transmitters;
+    avg[b] = hi > lo ? sum / static_cast<double>(hi - lo) : 0.0;
+    peak = std::max(peak, avg[b]);
+  }
+  static const char* kLevels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+  std::ostringstream os;
+  os << "tx activity [" << rounds_.size() << " rounds, peak "
+     << static_cast<std::uint64_t>(peak) << "]: ";
+  for (double a : avg) {
+    const std::size_t level =
+        std::min<std::size_t>(7, static_cast<std::size_t>(8.0 * a / peak));
+    os << kLevels[level];
+  }
+  return os.str();
+}
+
+}  // namespace radiocast::radio

@@ -1,0 +1,42 @@
+// Per-round activity traces: how many nodes transmitted, how many
+// receptions succeeded / collided. Used by examples to show algorithm
+// phases and by tests asserting activity profiles (e.g. Decay's
+// exponentially decreasing density).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "radio/model.hpp"
+
+namespace radiocast::radio {
+
+struct RoundOutcome;  // from network.hpp
+
+struct RoundStats {
+  Round round = 0;
+  std::uint32_t transmitters = 0;
+  std::uint32_t deliveries = 0;
+  std::uint32_t collisions = 0;
+};
+
+class Trace {
+ public:
+  void record(Round round, const RoundOutcome& outcome);
+  const std::vector<RoundStats>& rounds() const { return rounds_; }
+  void clear() { rounds_.clear(); }
+
+  std::uint64_t total_transmitters() const;
+  std::uint64_t total_deliveries() const;
+  std::uint64_t total_collisions() const;
+
+  /// Sparkline-ish summary of transmitter counts over time, bucketed into
+  /// `buckets` segments (for console output).
+  std::string activity_summary(std::size_t buckets = 60) const;
+
+ private:
+  std::vector<RoundStats> rounds_;
+};
+
+}  // namespace radiocast::radio

@@ -1,0 +1,108 @@
+#include "schedule/bfs_schedule.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace radiocast::schedule {
+
+TreeSchedule::TreeSchedule(const graph::Graph& g, const Partition& p,
+                           ScheduleMode mode)
+    : graph_(&g), part_(&p), mode_(mode) {
+  const NodeId n = g.node_count();
+  // Children CSR from parent pointers.
+  child_off_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (!p.in_scope(v)) continue;
+    max_depth_ = std::max(max_depth_, p.dist_to_center[v]);
+    const NodeId u = p.parent[v];
+    if (u != v) ++child_off_[u + 1];
+  }
+  for (std::size_t i = 1; i < child_off_.size(); ++i) {
+    child_off_[i] += child_off_[i - 1];
+  }
+  child_.resize(child_off_.back());
+  std::vector<std::uint64_t> cursor(child_off_.begin(), child_off_.end() - 1);
+  for (NodeId v = 0; v < n; ++v) {
+    if (!p.in_scope(v)) continue;
+    const NodeId u = p.parent[v];
+    if (u != v) child_[cursor[u]++] = v;
+  }
+  if (mode_ == ScheduleMode::kColored) {
+    compute_coloring(g);
+  } else {
+    period_ = 1;
+  }
+}
+
+void TreeSchedule::compute_coloring(const graph::Graph& g) {
+  const NodeId n = g.node_count();
+  color_.assign(n, 0);
+  std::vector<std::uint8_t> colored(n, 0);
+
+  // Colour nodes cluster by cluster in (depth, id) order. Node u's colour
+  // must differ from every already-coloured same-cluster node w that could
+  // interfere with u's role as a tree transmitter:
+  //   (a) w is adjacent to a child of u (w would garble u -> child), or
+  //   (b) u is adjacent to a child of w (u would garble w -> its child).
+  // Greedy first-fit; forbidden sets collected per node.
+  std::vector<NodeId> order;
+  order.reserve(n);
+  for (NodeId v = 0; v < n; ++v) {
+    if (part_->in_scope(v)) order.push_back(v);
+  }
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    if (part_->center[a] != part_->center[b]) {
+      return part_->center[a] < part_->center[b];
+    }
+    if (part_->dist_to_center[a] != part_->dist_to_center[b]) {
+      return part_->dist_to_center[a] < part_->dist_to_center[b];
+    }
+    return a < b;
+  });
+
+  std::vector<std::uint32_t> forbidden;  // colours, reused per node
+  period_ = 1;
+  for (NodeId u : order) {
+    const NodeId cu = part_->center[u];
+    forbidden.clear();
+    // (a): same-cluster coloured neighbours of u's children.
+    for (NodeId v : children(u)) {
+      for (NodeId w : g.neighbors(v)) {
+        if (w != u && colored[w] && part_->center[w] == cu) {
+          forbidden.push_back(color_[w]);
+        }
+      }
+    }
+    // (b): parents (within cluster) of u's same-cluster neighbours.
+    for (NodeId v : g.neighbors(u)) {
+      if (part_->center[v] != cu) continue;
+      const NodeId w = part_->parent[v];
+      if (w != u && w != v && colored[w] && part_->center[w] == cu) {
+        forbidden.push_back(color_[w]);
+      }
+    }
+    // (c): u's own tree parent — radios are half-duplex, so a node sharing
+    // its parent's slot could never receive from it (this would deadlock
+    // pipelined multi-message broadcast).
+    {
+      const NodeId w = part_->parent[u];
+      if (w != u && colored[w]) forbidden.push_back(color_[w]);
+    }
+    std::sort(forbidden.begin(), forbidden.end());
+    forbidden.erase(std::unique(forbidden.begin(), forbidden.end()),
+                    forbidden.end());
+    std::uint32_t c = 0;
+    for (std::uint32_t f : forbidden) {
+      if (f == c) {
+        ++c;
+      } else if (f > c) {
+        break;
+      }
+    }
+    color_[u] = c;
+    colored[u] = 1;
+    period_ = std::max(period_, c + 1);
+  }
+}
+
+}  // namespace radiocast::schedule

@@ -1,0 +1,74 @@
+#include "schedule/decay.hpp"
+
+#include <cmath>
+
+#include "util/math.hpp"
+
+namespace radiocast::schedule {
+
+double decay_probability(std::uint32_t step) {
+  if (step == 0) return 1.0;  // defensive; steps are 1-based
+  if (step >= 64) return 0.0;
+  return std::ldexp(1.0, -static_cast<int>(step));
+}
+
+std::uint32_t decay_round_length(std::uint32_t n) {
+  return std::max<std::uint32_t>(1, util::clog2(n));
+}
+
+std::uint32_t decay_step(radio::Network& net,
+                         const std::vector<std::uint8_t>& participates,
+                         const std::vector<radio::Payload>& payload_of,
+                         std::uint32_t step, std::vector<radio::Payload>& best,
+                         util::Rng& rng,
+                         std::vector<graph::NodeId>* received_from) {
+  const graph::NodeId n = net.node_count();
+  static thread_local std::vector<std::uint8_t> transmit;
+  static thread_local std::vector<radio::Payload> payload;
+  transmit.assign(n, 0);
+  payload.assign(n, radio::kNoPayload);
+  const double p = decay_probability(step);
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (participates[v] && rng.bernoulli(p)) {
+      transmit[v] = 1;
+      payload[v] = payload_of[v];
+    }
+  }
+  const radio::RoundOutcome out = net.step(transmit, payload);
+  if (received_from != nullptr) {
+    received_from->assign(n, graph::kInvalidNode);
+  }
+  std::uint32_t delivered = 0;
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (out.reception[v] != radio::Reception::kMessage) continue;
+    ++delivered;
+    const radio::Payload got = out.received_payload[v];
+    if (best[v] == radio::kNoPayload || got > best[v]) best[v] = got;
+    if (received_from != nullptr) {
+      // The unique transmitting neighbour is recoverable by scanning v's
+      // neighbourhood; with exactly one transmitter this is well-defined.
+      for (graph::NodeId u : net.topology().neighbors(v)) {
+        if (transmit[u]) {
+          (*received_from)[v] = u;
+          break;
+        }
+      }
+    }
+  }
+  return delivered;
+}
+
+std::uint32_t decay_round(radio::Network& net,
+                          const std::vector<std::uint8_t>& participates,
+                          const std::vector<radio::Payload>& payload_of,
+                          std::vector<radio::Payload>& best, util::Rng& rng) {
+  const std::uint32_t steps = decay_round_length(net.node_count());
+  std::uint32_t delivered = 0;
+  for (std::uint32_t s = 1; s <= steps; ++s) {
+    delivered +=
+        decay_step(net, participates, payload_of, s, best, rng, nullptr);
+  }
+  return delivered;
+}
+
+}  // namespace radiocast::schedule

@@ -1,0 +1,47 @@
+// The Decay protocol of Bar-Yehuda, Goldreich, Itai (Algorithm 5 of the
+// paper) — the fundamental randomized transmission primitive of radio
+// networks. One "round of Decay" consists of ceil(log2 n) time steps; in
+// step i (1-based) each participating node transmits with probability 2^-i.
+// Lemma 3.1: a listener with >= 1 participating neighbour receives with
+// constant probability per Decay round.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "radio/network.hpp"
+#include "util/rng.hpp"
+
+namespace radiocast::schedule {
+
+/// Transmission probability at 1-based Decay step i: 2^-i.
+double decay_probability(std::uint32_t step);
+
+/// Number of steps in one Decay round for an n-node network: ceil(log2 n),
+/// at least 1.
+std::uint32_t decay_round_length(std::uint32_t n);
+
+/// Executes ONE step of synchronized Decay over the physical medium.
+/// `participates[v]` marks nodes running Decay this round; each transmits
+/// `payload_of[v]` with probability 2^-step. Listeners that receive update
+/// `best[v] = max(best[v], received)`. Returns the number of deliveries.
+///
+/// `received_from` (optional, may be null) is filled with the transmitter
+/// that delivered to each node this step (kInvalidNode otherwise) — the
+/// simulation-side bookkeeping used by cluster-rescue logic (a real message
+/// would carry the sender's cluster id; see DESIGN.md).
+std::uint32_t decay_step(radio::Network& net,
+                         const std::vector<std::uint8_t>& participates,
+                         const std::vector<radio::Payload>& payload_of,
+                         std::uint32_t step, std::vector<radio::Payload>& best,
+                         util::Rng& rng,
+                         std::vector<graph::NodeId>* received_from);
+
+/// Executes one full Decay round (decay_round_length(n) steps).
+/// Returns total deliveries.
+std::uint32_t decay_round(radio::Network& net,
+                          const std::vector<std::uint8_t>& participates,
+                          const std::vector<radio::Payload>& payload_of,
+                          std::vector<radio::Payload>& best, util::Rng& rng);
+
+}  // namespace radiocast::schedule

@@ -1,0 +1,91 @@
+// Intra-Cluster Propagation (Algorithm 3) with its background Decay
+// process (Algorithm 4), executed synchronously over one Partition.
+//
+// One window does:
+//   1) outward wave: centre's best message to all nodes within `pass_hops`,
+//   2) inward wave: nodes knowing a higher message converge-cast it to the
+//      centre (values aggregate by max along the tree),
+//   3) outward wave again with the centre's updated best.
+//
+// Steps of the main waves are interleaved 1:1 with steps of the background
+// process (Algorithm 4), which repeatedly has each cluster flip a
+// 2^-i-probability coordinated coin to run one Decay round, rescuing
+// "risky" boundary nodes whose scheduled receptions are garbled by
+// neighbouring clusters (Lemma 4.2).
+//
+// This synchronized runner is used by the Compete background process
+// (Algorithm 2), by the schedule/validity experiments (E10/E11), and by
+// tests. The main Compete process needs per-coarse-cluster desynchronised
+// windows and implements its own loop over the same TreeSchedule data.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "radio/network.hpp"
+#include "schedule/bfs_schedule.hpp"
+#include "util/rng.hpp"
+
+namespace radiocast::schedule {
+
+struct IcpParams {
+  /// Hop budget ell of Intra-Cluster Propagation(ell).
+  std::uint32_t pass_hops = 1;
+  /// Interleave the Algorithm 4 background stream (1:1 with main steps).
+  bool with_background = true;
+  /// Domain separators for the background coordinated coins.
+  std::uint64_t window_id = 0;
+  std::uint64_t seed = 0;
+};
+
+struct IcpStats {
+  /// Physical rounds consumed, counting both interleaved streams.
+  std::uint64_t rounds = 0;
+  /// Successful scheduled deliveries (tree-wave hops).
+  std::uint64_t deliveries = 0;
+  /// Scheduled deliveries blocked by a foreign-cluster transmitter
+  /// (pipelined mode's honest inter-cluster collisions).
+  std::uint64_t blocked = 0;
+  /// Nodes rescued (wave-informed) by the background Decay process.
+  std::uint64_t rescued = 0;
+};
+
+/// Executes one full ICP window over `best` (node -> highest known message,
+/// radio::kNoPayload when none). `net` must wrap the same graph the
+/// schedule was built on; it is used for the physically-simulated parts
+/// (background Decay always; the main waves too in kColored mode).
+IcpStats run_icp_window(radio::Network& net, const TreeSchedule& sched,
+                        std::vector<radio::Payload>& best,
+                        const IcpParams& params, util::Rng& rng);
+
+/// The background stream alone, as a resumable object (used by the Compete
+/// main process, whose windows are desynchronised across coarse clusters
+/// but whose background stream free-runs globally).
+class DecayBackground {
+ public:
+  /// `reached[v]` marks nodes that already hold their cluster's wave
+  /// message and therefore participate in rescuing neighbours.
+  DecayBackground(const TreeSchedule& sched, std::uint64_t seed);
+
+  /// Runs one physical round of the background stream. Participating
+  /// clusters' reached members transmit per Decay; listeners receiving from
+  /// a same-cluster reached neighbour become reached themselves.
+  /// Returns number of nodes rescued this round.
+  std::uint32_t step(radio::Network& net, std::vector<radio::Payload>& best,
+                     std::vector<std::uint8_t>& reached, util::Rng& rng);
+
+  /// Re-binds the schedule (the active clustering changed windows).
+  void rebind(const TreeSchedule& sched, std::uint64_t window_id);
+
+ private:
+  const TreeSchedule* sched_;
+  std::uint64_t seed_;
+  std::uint64_t window_id_ = 0;
+  std::uint32_t lambda_;       // ceil(log2 n)
+  std::uint64_t clock_ = 0;    // background rounds elapsed
+  std::vector<std::uint8_t> participate_scratch_;
+  std::vector<radio::Payload> payload_scratch_;
+  std::vector<graph::NodeId> from_scratch_;
+};
+
+}  // namespace radiocast::schedule

@@ -1,0 +1,97 @@
+#include "util/cli.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace radiocast::util {
+
+Cli::Cli(int argc, const char* const* argv, bool allow_unknown) {
+  (void)allow_unknown;
+  program_ = argc > 0 ? argv[0] : "program";
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg.erase(0, 2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[arg] = argv[++i];
+    } else {
+      flags_[arg] = "true";  // bare boolean flag
+    }
+  }
+}
+
+bool Cli::has(const std::string& name) const { return flags_.count(name) > 0; }
+
+std::string Cli::get_string(const std::string& name,
+                            const std::string& fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& name,
+                          std::int64_t fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + " expects an integer, got '" +
+                                it->second + "'");
+  }
+}
+
+std::uint64_t Cli::get_uint(const std::string& name,
+                            std::uint64_t fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  try {
+    return std::stoull(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name +
+                                " expects an unsigned integer, got '" +
+                                it->second + "'");
+  }
+}
+
+double Cli::get_double(const std::string& name, double fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("flag --" + name + " expects a number, got '" +
+                                it->second + "'");
+  }
+}
+
+bool Cli::get_bool(const std::string& name, bool fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  throw std::invalid_argument("flag --" + name + " expects a boolean, got '" +
+                              v + "'");
+}
+
+Cli& Cli::describe(const std::string& name, const std::string& help) {
+  help_.emplace_back(name, help);
+  return *this;
+}
+
+std::string Cli::usage() const {
+  std::ostringstream os;
+  os << "usage: " << program_ << " [flags]\n";
+  for (const auto& [name, help] : help_) {
+    os << "  --" << name << "\n      " << help << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace radiocast::util

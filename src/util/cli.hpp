@@ -1,0 +1,45 @@
+// Minimal command-line flag parser for examples and bench binaries.
+//
+// Flags take the forms --name=value, --name value, or boolean --name.
+// Unknown flags are an error by default so typos in experiment scripts fail
+// loudly rather than silently running a different configuration.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace radiocast::util {
+
+class Cli {
+ public:
+  /// Parses argv; throws std::invalid_argument on malformed input.
+  Cli(int argc, const char* const* argv, bool allow_unknown = false);
+
+  bool has(const std::string& name) const;
+  std::string get_string(const std::string& name,
+                         const std::string& fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  std::uint64_t get_uint(const std::string& name,
+                         std::uint64_t fallback) const;
+  double get_double(const std::string& name, double fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+  const std::string& program() const { return program_; }
+
+  /// Registers a flag for the usage string; returns *this for chaining.
+  Cli& describe(const std::string& name, const std::string& help);
+  std::string usage() const;
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+  std::vector<std::pair<std::string, std::string>> help_;
+};
+
+}  // namespace radiocast::util

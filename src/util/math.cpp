@@ -1,0 +1,43 @@
+#include "util/math.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace radiocast::util {
+
+std::uint32_t ilog2(std::uint64_t x) {
+  if (x <= 1) return 0;
+  return 63u - static_cast<std::uint32_t>(std::countl_zero(x));
+}
+
+std::uint32_t clog2(std::uint64_t x) {
+  if (x <= 1) return 0;
+  return ilog2(x - 1) + 1;
+}
+
+double safe_log(double x) { return std::log(x < std::exp(1.0) ? std::exp(1.0) : x); }
+
+double safe_log2(double x) { return std::log2(x < 2.0 ? 2.0 : x); }
+
+double fpow(double x, double e) {
+  if (x <= 0.0) return 0.0;
+  return std::exp(e * std::log(x));
+}
+
+std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+bool is_pow2(std::uint64_t x) { return x >= 1 && (x & (x - 1)) == 0; }
+
+std::uint64_t next_pow2(std::uint64_t x) {
+  if (x <= 1) return 1;
+  return std::uint64_t{1} << clog2(x);
+}
+
+double log_ratio(std::uint64_t n, std::uint64_t d) {
+  return safe_log2(static_cast<double>(n)) /
+         safe_log2(static_cast<double>(d));
+}
+
+}  // namespace radiocast::util

@@ -1,0 +1,42 @@
+// Integer/real math helpers shared across the library.
+//
+// The paper's bounds are expressed in terms of log n, log D, and fractional
+// powers of D; these helpers centralise those formulas so the algorithm code
+// and the theory-prediction code agree on conventions (log base 2, floors).
+#pragma once
+
+#include <cstdint>
+
+namespace radiocast::util {
+
+/// floor(log2(x)) for x >= 1; returns 0 for x == 0 or 1.
+std::uint32_t ilog2(std::uint64_t x);
+
+/// ceil(log2(x)) for x >= 1; 0 for x <= 1.
+std::uint32_t clog2(std::uint64_t x);
+
+/// Natural log of x clamped below at 1 (so log terms never vanish or go
+/// negative in bound formulas for tiny inputs).
+double safe_log(double x);
+
+/// log2 of x clamped below at 2.
+double safe_log2(double x);
+
+/// x^e for real e via exp/log; x must be >= 0 (0^e = 0 for e > 0).
+double fpow(double x, double e);
+
+/// ceil(a / b) for positive integers.
+std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b);
+
+/// True if x is a power of two (x >= 1).
+bool is_pow2(std::uint64_t x);
+
+/// Smallest power of two >= x (x >= 1).
+std::uint64_t next_pow2(std::uint64_t x);
+
+/// The paper's canonical quantity log(n)/log(D), clamped so that both logs
+/// are at least 1 (the paper assumes D = Omega(log^c n), i.e. D and n are
+/// both "large"; on tiny inputs we degrade gracefully to Decay-like rates).
+double log_ratio(std::uint64_t n, std::uint64_t d);
+
+}  // namespace radiocast::util

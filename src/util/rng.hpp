@@ -1,0 +1,86 @@
+// Deterministic, fast pseudo-random number generation for simulations.
+//
+// The whole library routes randomness through Rng so that every experiment
+// is reproducible from a single 64-bit seed. The generator is xoshiro256**
+// (Blackman & Vigna), seeded via splitmix64, which is the recommended
+// seeding procedure for the xoshiro family. Rng additionally provides the
+// distributions the algorithms need: uniform integers/reals, Bernoulli,
+// exponential (for Miller-Peng-Xu shifts), and geometric.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace radiocast::util {
+
+/// splitmix64 step; used for seeding and as a cheap stateless mixer.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// Mix a seed with a stream identifier into an independent-looking seed.
+/// Used to derive per-node / per-phase sub-streams deterministically.
+std::uint64_t mix_seed(std::uint64_t seed, std::uint64_t stream);
+
+/// xoshiro256** generator with a std::uniform_random_bit_generator-compatible
+/// interface plus the handful of distributions the simulator needs.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the full 256-bit state from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed = 0xC0FFEE123456789ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Raw 64 random bits.
+  result_type operator()();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  /// Uses Lemire's multiply-shift rejection method (unbiased).
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_in(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [0, 1).
+  double uniform_real();
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Exponentially distributed real with rate `beta` (mean 1/beta).
+  /// This is exactly the delta_v distribution of Partition(beta):
+  /// P[X <= y] = 1 - exp(-beta*y).
+  double exponential(double beta);
+
+  /// Geometric: number of failures before first success, success prob p.
+  std::uint64_t geometric(double p);
+
+  /// Fisher-Yates shuffle of a vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(uniform(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) (k <= n), in random order.
+  std::vector<std::uint32_t> sample_without_replacement(std::uint32_t n,
+                                                        std::uint32_t k);
+
+  /// Fork an independent sub-stream (deterministic in (state, stream)).
+  Rng fork(std::uint64_t stream);
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace radiocast::util

@@ -1,0 +1,117 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+namespace radiocast::util {
+
+std::string format_double(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::row() {
+  cells_.emplace_back();
+  cells_.back().reserve(headers_.size());
+  return *this;
+}
+
+Table& Table::add(const std::string& cell) {
+  if (cells_.empty()) row();
+  cells_.back().push_back(cell);
+  return *this;
+}
+
+Table& Table::add(const char* cell) { return add(std::string(cell)); }
+
+Table& Table::add(double v, int precision) {
+  return add(format_double(v, precision));
+}
+
+Table& Table::add(std::uint64_t v) { return add(std::to_string(v)); }
+Table& Table::add(std::int64_t v) { return add(std::to_string(v)); }
+Table& Table::add(int v) { return add(std::to_string(v)); }
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : cells_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << ' ' << cell;
+      for (std::size_t p = cell.size(); p < widths[c]; ++p) os << ' ';
+      os << " |";
+    }
+    os << "\n";
+  };
+  emit_row(headers_);
+  os << "|";
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    for (std::size_t p = 0; p < widths[c] + 2; ++p) os << '-';
+    os << "|";
+  }
+  os << "\n";
+  for (const auto& row : cells_) emit_row(row);
+  return os.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  const bool needs_quotes =
+      s.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return s;
+  std::string out = "\"";
+  for (char ch : s) {
+    if (ch == '"') out += '"';
+    out += ch;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) os << ',';
+    os << csv_escape(headers_[c]);
+  }
+  os << "\n";
+  for (const auto& row : cells_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << csv_escape(row[c]);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+bool Table::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_csv();
+  return static_cast<bool>(out);
+}
+
+void Table::print(std::ostream& os, const std::string& title) const {
+  os << "\n=== " << title << " ===\n" << to_string();
+}
+
+}  // namespace radiocast::util

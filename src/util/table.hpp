@@ -1,0 +1,50 @@
+// Aligned console tables + CSV emission for the benchmark harness.
+//
+// Every bench binary prints its experiment as (1) a human-readable aligned
+// table to stdout and (2) optionally a CSV file, so results can be diffed
+// and re-plotted. Cells are stored as strings; numeric helpers format with
+// sensible precision.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace radiocast::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Starts a new row; subsequent add() calls fill it left to right.
+  Table& row();
+  Table& add(const std::string& cell);
+  Table& add(const char* cell);
+  Table& add(double v, int precision = 3);
+  Table& add(std::uint64_t v);
+  Table& add(std::int64_t v);
+  Table& add(int v);
+
+  std::size_t rows() const { return cells_.size(); }
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& cells() const { return cells_; }
+
+  /// Render as an aligned, pipe-separated table.
+  std::string to_string() const;
+  /// Render as CSV (RFC-4180-ish quoting for commas/quotes/newlines).
+  std::string to_csv() const;
+  /// Write CSV to `path`; returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+  /// Print the aligned table to `os` with a title banner.
+  void print(std::ostream& os, const std::string& title) const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> cells_;
+};
+
+/// Format a double with fixed precision (no trailing-zero trimming).
+std::string format_double(double v, int precision);
+
+}  // namespace radiocast::util

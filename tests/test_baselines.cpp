@@ -1,0 +1,155 @@
+#include "baselines/decay_broadcast.hpp"
+#include "baselines/hw_broadcast.hpp"
+#include "baselines/le_binary_search.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace radiocast::baselines {
+namespace {
+
+TEST(BgiBroadcast, InformsPath) {
+  const graph::Graph g = graph::path(100);
+  const auto r =
+      decay_broadcast(g, 99, {{0, 5}}, bgi_params(g.node_count()), 1);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.informed, 100u);
+}
+
+TEST(BgiBroadcast, InformsDenseGraph) {
+  util::Rng rng(2);
+  const graph::Graph g = graph::gnp(300, 0.05, rng);
+  const auto d = graph::diameter_double_sweep(g);
+  const auto r =
+      decay_broadcast(g, d, {{0, 5}}, bgi_params(g.node_count()), 2);
+  EXPECT_TRUE(r.success);
+}
+
+TEST(BgiBroadcast, RoundsScaleLikeDLogN) {
+  // On a path, BGI costs ~ c * D * log n; check the per-hop rate is within
+  // a small factor of log2 n.
+  const graph::Graph g = graph::path(300);
+  const auto r =
+      decay_broadcast(g, 299, {{0, 1}}, bgi_params(g.node_count()), 3);
+  ASSERT_TRUE(r.success);
+  const double per_hop = static_cast<double>(r.rounds) / 299.0;
+  const double logn = std::log2(300.0);
+  EXPECT_GT(per_hop, 0.5 * logn);
+  EXPECT_LT(per_hop, 4.0 * logn);
+}
+
+TEST(CrBroadcast, FasterThanBgiOnLongCliquePath) {
+  // n/D small => CR's shallow cycles beat BGI's full-depth cycles.
+  const graph::Graph g = graph::path_of_cliques(60, 4);
+  const auto d = graph::diameter_double_sweep(g);
+  const auto bgi =
+      decay_broadcast(g, d, {{0, 9}}, bgi_params(g.node_count()), 4);
+  const auto cr =
+      decay_broadcast(g, d, {{0, 9}}, cr_params(g.node_count(), d), 4);
+  ASSERT_TRUE(bgi.success);
+  ASSERT_TRUE(cr.success);
+  EXPECT_LT(cr.rounds, bgi.rounds);
+}
+
+TEST(CrBroadcast, HandlesHighCongestionViaFullCycles) {
+  // Star-heavy topology: per-node congestion n-1 >> n/D; the periodic
+  // full-depth cycle must still get the message out of the hub.
+  const graph::Graph g = graph::star(400);
+  const auto r = decay_broadcast(g, 2, {{1, 9}},
+                                 cr_params(g.node_count(), 2), 5);
+  EXPECT_TRUE(r.success);
+}
+
+TEST(DecayBroadcast, MultiSourceHighestWins) {
+  const graph::Graph g = graph::grid(10, 10);
+  const auto r = decay_broadcast(
+      g, 18, {{0, 3}, {55, 12}, {99, 7}}, bgi_params(g.node_count()), 6);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.winner, 12u);
+  for (auto b : r.best) EXPECT_EQ(b, 12u);
+}
+
+TEST(DecayBroadcast, EmptySourcesVacuous) {
+  const graph::Graph g = graph::path(5);
+  const auto r = decay_broadcast(g, 4, {}, bgi_params(5), 7);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.rounds, 0u);
+}
+
+TEST(DecayBroadcast, SourceOutOfRangeThrows) {
+  const graph::Graph g = graph::path(5);
+  EXPECT_THROW(decay_broadcast(g, 4, {{9, 1}}, bgi_params(5), 8),
+               std::out_of_range);
+}
+
+TEST(DecayBroadcast, MaxRoundsRespected) {
+  const graph::Graph g = graph::path(500);
+  DecayBroadcastParams p = bgi_params(500);
+  p.max_rounds = 50;  // far too few for 500 hops
+  const auto r = decay_broadcast(g, 499, {{0, 1}}, p, 9);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.rounds, 50u);
+  EXPECT_LT(r.informed, 500u);
+}
+
+TEST(HwBroadcast, CompletesAndUsesInflatedCurtail) {
+  const graph::Graph g = graph::path_of_cliques(15, 6);
+  const auto d = graph::diameter_double_sweep(g);
+  const auto r = hw_broadcast(g, d, 0, 5, 10);
+  EXPECT_TRUE(r.success);
+  EXPECT_TRUE(hw_params().hw_curtail);
+}
+
+TEST(BinarySearchLe, ElectsUniqueLeaderOnGrid) {
+  const graph::Graph g = graph::grid(10, 10);
+  const auto r = binary_search_leader_election(g, 18,
+                                               BinarySearchLeParams{}, 11);
+  ASSERT_TRUE(r.success);
+  EXPECT_LT(r.leader, g.node_count());
+  EXPECT_GT(r.candidate_count, 0u);
+  EXPECT_GT(r.phases, 0u);
+}
+
+TEST(BinarySearchLe, RoundsAreTbcTimesBits) {
+  const graph::Graph g = graph::grid(8, 8);
+  BinarySearchLeParams p;
+  p.id_bits = 10;
+  const auto r = binary_search_leader_election(g, 14, p, 12);
+  ASSERT_TRUE(r.success);
+  // phases * budget + final announce = (bits + 1) * budget.
+  EXPECT_EQ(r.phases, 10u);
+  EXPECT_EQ(r.rounds % (r.phases + 1), 0u);
+}
+
+TEST(BinarySearchLe, DeterministicGivenSeed) {
+  const graph::Graph g = graph::cycle(40);
+  const auto a =
+      binary_search_leader_election(g, 20, BinarySearchLeParams{}, 13);
+  const auto b =
+      binary_search_leader_election(g, 20, BinarySearchLeParams{}, 13);
+  EXPECT_EQ(a.leader, b.leader);
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+TEST(BinarySearchLe, WorksAcrossFamilies) {
+  util::Rng rng(14);
+  for (int fam = 0; fam < 3; ++fam) {
+    graph::Graph g;
+    switch (fam) {
+      case 0: g = graph::path(60); break;
+      case 1: g = graph::random_geometric(150, 0.12, rng); break;
+      default: g = graph::balanced_binary_tree(63); break;
+    }
+    const auto d = std::max(2u, graph::diameter_double_sweep(g));
+    const auto r =
+        binary_search_leader_election(g, d, BinarySearchLeParams{}, fam);
+    EXPECT_TRUE(r.success) << "family " << fam;
+  }
+}
+
+}  // namespace
+}  // namespace radiocast::baselines

@@ -1,0 +1,123 @@
+// Distributed BFS-tree construction (the Section 1.2 application).
+#include "core/bfs_tree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace radiocast::core {
+namespace {
+
+TEST(BfsTree, RootedGrowthOnPath) {
+  const graph::Graph g = graph::path(30);
+  BfsTreeParams p;
+  p.root_hint = 0;
+  const auto t = build_bfs_tree(g, 29, p, 1);
+  ASSERT_TRUE(t.success);
+  EXPECT_EQ(t.root, 0u);
+  EXPECT_EQ(t.election_rounds, 0u);  // no election needed
+  for (graph::NodeId v = 0; v < 30; ++v) {
+    EXPECT_EQ(t.layer[v], v);
+    EXPECT_EQ(t.parent[v], v == 0 ? 0u : v - 1);
+  }
+}
+
+TEST(BfsTree, LayersAreTrueBfsDistances) {
+  util::Rng rng(2);
+  const graph::Graph g = graph::random_geometric(200, 0.1, rng);
+  const auto d = graph::diameter_double_sweep(g);
+  BfsTreeParams p;
+  p.root_hint = 5;
+  const auto t = build_bfs_tree(g, d, p, 2);
+  ASSERT_TRUE(t.success);
+  const auto dist = graph::bfs_distances(g, 5);
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_EQ(t.layer[v], dist[v]) << v;
+  }
+}
+
+TEST(BfsTree, WithElectionProducesValidTree) {
+  util::Rng rng(3);
+  const graph::Graph g = graph::gnp(150, 0.04, rng);
+  const auto d = std::max(2u, graph::diameter_double_sweep(g));
+  const auto t = build_bfs_tree(g, d, BfsTreeParams{}, 3);
+  ASSERT_TRUE(t.success);
+  EXPECT_GT(t.election_rounds, 0u);
+  EXPECT_LT(t.root, g.node_count());
+  EXPECT_TRUE(is_valid_bfs_tree(g, t));
+}
+
+TEST(BfsTree, SingleNode) {
+  const graph::Graph g = graph::path(1);
+  BfsTreeParams p;
+  p.root_hint = 0;
+  const auto t = build_bfs_tree(g, 1, p, 4);
+  EXPECT_TRUE(t.success);
+  EXPECT_EQ(t.growth_rounds, 0u);
+}
+
+TEST(BfsTree, StarFromCenterAndLeaf) {
+  const graph::Graph g = graph::star(20);
+  BfsTreeParams pc;
+  pc.root_hint = 0;
+  const auto tc = build_bfs_tree(g, 2, pc, 5);
+  ASSERT_TRUE(tc.success);
+  for (graph::NodeId v = 1; v < 20; ++v) EXPECT_EQ(tc.layer[v], 1u);
+  BfsTreeParams pl;
+  pl.root_hint = 3;
+  const auto tl = build_bfs_tree(g, 2, pl, 6);
+  ASSERT_TRUE(tl.success);
+  EXPECT_EQ(tl.layer[0], 1u);
+  EXPECT_EQ(tl.layer[7], 2u);
+}
+
+TEST(BfsTree, RootHintOutOfRangeThrows) {
+  const graph::Graph g = graph::path(5);
+  BfsTreeParams p;
+  p.root_hint = 9;
+  EXPECT_THROW(build_bfs_tree(g, 4, p, 7), std::out_of_range);
+}
+
+TEST(BfsTree, ValidatorRejectsBrokenTrees) {
+  const graph::Graph g = graph::path(5);
+  BfsTreeParams p;
+  p.root_hint = 0;
+  auto t = build_bfs_tree(g, 4, p, 8);
+  ASSERT_TRUE(t.success);
+  auto bad1 = t;
+  bad1.layer[3] = 9;  // wrong layer
+  EXPECT_FALSE(is_valid_bfs_tree(g, bad1));
+  auto bad2 = t;
+  bad2.parent[2] = 4;  // parent not one layer up / wrong side
+  EXPECT_FALSE(is_valid_bfs_tree(g, bad2));
+  auto bad3 = t;
+  bad3.parent[4] = graph::kInvalidNode;  // detached node
+  EXPECT_FALSE(is_valid_bfs_tree(g, bad3));
+}
+
+class BfsTreeFamilies : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BfsTreeFamilies, ValidAcrossFamiliesAndSeeds) {
+  util::Rng rng(GetParam());
+  const graph::Graph graphs[] = {
+      graph::grid(10, 12),
+      graph::path_of_cliques(12, 6),
+      graph::random_recursive_tree(120, rng),
+      graph::cycle(60),
+  };
+  for (const auto& g : graphs) {
+    const auto d = std::max(2u, graph::diameter_double_sweep(g));
+    BfsTreeParams p;
+    p.root_hint = static_cast<graph::NodeId>(
+        GetParam() % g.node_count());
+    const auto t = build_bfs_tree(g, d, p, GetParam());
+    EXPECT_TRUE(t.success) << g.summary();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BfsTreeFamilies,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace radiocast::core

@@ -1,0 +1,64 @@
+// Broadcast = Compete({s}) — Theorem 5.1.
+#include "core/broadcast.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/theory.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace radiocast::core {
+namespace {
+
+TEST(Broadcast, InformsEveryoneOnGrid) {
+  const graph::Graph g = graph::grid(12, 12);
+  const auto r = broadcast(g, 22, 0, 555, CompeteParams{}, 1);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.informed, g.node_count());
+  EXPECT_EQ(r.message, 555u);
+}
+
+TEST(Broadcast, EquivalentToCompeteSingleton) {
+  const graph::Graph g = graph::path_of_cliques(12, 6);
+  const auto b = broadcast(g, 34, 5, 99, CompeteParams{}, 42);
+  const auto c = compete(g, 34, {{5, 99}}, CompeteParams{}, 42);
+  EXPECT_EQ(b.rounds, c.rounds);
+  EXPECT_EQ(b.success, c.success);
+  EXPECT_EQ(b.informed, c.informed);
+}
+
+TEST(Broadcast, DefaultMessageIsSourceDerived) {
+  const graph::Graph g = graph::path(10);
+  const auto r = broadcast(g, 9, 3, CompeteParams{}, 2);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.message, 4u);  // source id + 1
+}
+
+TEST(Broadcast, SourceAtEveryPositionWorks) {
+  const graph::Graph g = graph::path(60);
+  for (graph::NodeId s : {0u, 29u, 59u}) {
+    const auto r = broadcast(g, 59, s, 7, CompeteParams{}, 3 + s);
+    EXPECT_TRUE(r.success) << "source " << s;
+  }
+}
+
+TEST(Broadcast, CompletesWithinBudgetFactorOfTheory) {
+  // Not a performance guarantee — just that the round budget (a multiple
+  // of the theory bound) was never the stopping reason on a benign family.
+  const graph::Graph g = graph::path_of_cliques(25, 8);
+  const auto d = graph::diameter_double_sweep(g);
+  const auto r = broadcast(g, d, 0, 1, CompeteParams{}, 4);
+  ASSERT_TRUE(r.success);
+  EXPECT_LT(static_cast<double>(r.rounds),
+            60.0 * theory::bound_cd(g.node_count(), d));
+}
+
+TEST(Broadcast, DiameterHintCanBeUpperBound) {
+  // Nodes only know an upper bound on D; a 2x overestimate must still work.
+  const graph::Graph g = graph::grid(10, 10);
+  const auto r = broadcast(g, 2 * 18, 0, 9, CompeteParams{}, 5);
+  EXPECT_TRUE(r.success);
+}
+
+}  // namespace
+}  // namespace radiocast::core

@@ -1,0 +1,81 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace radiocast::util {
+namespace {
+
+Cli make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return Cli(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, EqualsSyntax) {
+  const Cli c = make({"--n=100", "--beta=0.5"});
+  EXPECT_EQ(c.get_int("n", 0), 100);
+  EXPECT_DOUBLE_EQ(c.get_double("beta", 0.0), 0.5);
+}
+
+TEST(Cli, SpaceSyntax) {
+  const Cli c = make({"--name", "hello"});
+  EXPECT_EQ(c.get_string("name", ""), "hello");
+}
+
+TEST(Cli, BareBooleanFlag) {
+  const Cli c = make({"--verbose"});
+  EXPECT_TRUE(c.get_bool("verbose", false));
+  EXPECT_TRUE(c.has("verbose"));
+  EXPECT_FALSE(c.has("quiet"));
+}
+
+TEST(Cli, BooleanSpellings) {
+  EXPECT_TRUE(make({"--x=yes"}).get_bool("x", false));
+  EXPECT_TRUE(make({"--x=on"}).get_bool("x", false));
+  EXPECT_TRUE(make({"--x=1"}).get_bool("x", false));
+  EXPECT_FALSE(make({"--x=no"}).get_bool("x", true));
+  EXPECT_FALSE(make({"--x=off"}).get_bool("x", true));
+  EXPECT_FALSE(make({"--x=0"}).get_bool("x", true));
+}
+
+TEST(Cli, FallbacksWhenMissing) {
+  const Cli c = make({});
+  EXPECT_EQ(c.get_int("n", 42), 42);
+  EXPECT_EQ(c.get_uint("m", 7u), 7u);
+  EXPECT_DOUBLE_EQ(c.get_double("d", 1.5), 1.5);
+  EXPECT_EQ(c.get_string("s", "dflt"), "dflt");
+  EXPECT_TRUE(c.get_bool("b", true));
+}
+
+TEST(Cli, PositionalArguments) {
+  const Cli c = make({"file1", "--n=3", "file2"});
+  ASSERT_EQ(c.positional().size(), 2u);
+  EXPECT_EQ(c.positional()[0], "file1");
+  EXPECT_EQ(c.positional()[1], "file2");
+}
+
+TEST(Cli, MalformedNumberThrows) {
+  const Cli c = make({"--n=abc"});
+  EXPECT_THROW(c.get_int("n", 0), std::invalid_argument);
+  EXPECT_THROW(c.get_double("n", 0), std::invalid_argument);
+  EXPECT_THROW(c.get_bool("n", false), std::invalid_argument);
+}
+
+TEST(Cli, NegativeNumbersViaEquals) {
+  const Cli c = make({"--delta=-5"});
+  EXPECT_EQ(c.get_int("delta", 0), -5);
+}
+
+TEST(Cli, UsageListsDescribedFlags) {
+  Cli c = make({});
+  c.describe("n", "number of nodes").describe("seed", "rng seed");
+  const std::string u = c.usage();
+  EXPECT_NE(u.find("--n"), std::string::npos);
+  EXPECT_NE(u.find("number of nodes"), std::string::npos);
+  EXPECT_NE(u.find("--seed"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace radiocast::util

@@ -1,0 +1,197 @@
+// End-to-end tests of Compete(S) — Theorem 4.1's guarantee (everyone
+// learns the highest source message) across graph families, source-set
+// sizes, seeds, and ablation configurations.
+#include "core/compete.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace radiocast::core {
+namespace {
+
+CompeteParams fast_params() {
+  CompeteParams p;
+  p.check_interval = 8;
+  return p;
+}
+
+TEST(Compete, EmptySourceSetIsVacuousSuccess) {
+  const graph::Graph g = graph::path(5);
+  const auto r = compete(g, 4, {}, fast_params(), 1);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.rounds, 0u);
+}
+
+TEST(Compete, SingleNodeGraph) {
+  const graph::Graph g = graph::path(1);
+  const auto r = compete(g, 1, {{0, 42}}, fast_params(), 1);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.winner, 42u);
+  EXPECT_EQ(r.informed, 1u);
+}
+
+TEST(Compete, TwoNodes) {
+  const graph::Graph g = graph::path(2);
+  const auto r = compete(g, 1, {{0, 7}}, fast_params(), 2);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.best[1], 7u);
+}
+
+TEST(Compete, HighestOfManySourcesWins) {
+  const graph::Graph g = graph::grid(12, 12);
+  std::vector<CompeteSource> sources{{0, 10}, {77, 99}, {143, 50}};
+  const auto r = compete(g, 22, sources, fast_params(), 3);
+  ASSERT_TRUE(r.success);
+  EXPECT_EQ(r.winner, 99u);
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_EQ(r.best[v], 99u) << v;
+  }
+}
+
+TEST(Compete, DuplicateSourceValuesAllowed) {
+  const graph::Graph g = graph::cycle(20);
+  std::vector<CompeteSource> sources{{0, 5}, {10, 5}};
+  const auto r = compete(g, 10, sources, fast_params(), 4);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.winner, 5u);
+}
+
+TEST(Compete, SourceOutOfRangeThrows) {
+  const graph::Graph g = graph::path(3);
+  EXPECT_THROW(compete(g, 2, {{5, 1}}, fast_params(), 1),
+               std::out_of_range);
+}
+
+TEST(Compete, AllNodesAreSources) {
+  const graph::Graph g = graph::grid(8, 8);
+  std::vector<CompeteSource> sources;
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    sources.push_back({v, static_cast<radio::Payload>(v)});
+  }
+  const auto r = compete(g, 14, sources, fast_params(), 5);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.winner, 63u);
+}
+
+TEST(Compete, DeterministicGivenSeed) {
+  const graph::Graph g = graph::path_of_cliques(10, 6);
+  const auto a = compete(g, 28, {{3, 9}}, fast_params(), 77);
+  const auto b = compete(g, 28, {{3, 9}}, fast_params(), 77);
+  EXPECT_EQ(a.rounds, b.rounds);
+  EXPECT_EQ(a.best, b.best);
+}
+
+TEST(Compete, DifferentSeedsBothSucceed) {
+  const graph::Graph g = graph::path_of_cliques(10, 6);
+  for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull}) {
+    EXPECT_TRUE(compete(g, 28, {{0, 1}}, fast_params(), seed).success)
+        << seed;
+  }
+}
+
+TEST(Compete, ChargedPrecomputeIsPositive) {
+  const graph::Graph g = graph::grid(10, 10);
+  const auto r = compete(g, 18, {{0, 1}}, fast_params(), 6);
+  EXPECT_GT(r.precompute_rounds_charged, 0u);
+}
+
+TEST(Compete, StatsReflectActivity) {
+  const graph::Graph g = graph::path_of_cliques(15, 6);
+  const auto r = compete(g, 44, {{0, 1}}, fast_params(), 7);
+  ASSERT_TRUE(r.success);
+  EXPECT_GT(r.main_stats.windows_started, 0u);
+  EXPECT_GT(r.main_stats.wave_deliveries, 0u);
+  EXPECT_GT(r.main_stats.background_rounds, 0u);
+  EXPECT_GT(r.background_stats.windows_started, 0u);
+}
+
+// Ablations (E9): every configuration must still complete — the paper's
+// background processes affect speed, not eventual correctness, because the
+// main waves alone also make progress (just not provably fast progress).
+TEST(Compete, AblationNoBackgroundProcessStillCompletes) {
+  const graph::Graph g = graph::grid(10, 10);
+  CompeteParams p = fast_params();
+  p.enable_background = false;
+  const auto r = compete(g, 18, {{0, 8}}, p, 8);
+  EXPECT_TRUE(r.success);
+}
+
+TEST(Compete, AblationNoIcpBackgroundStillCompletesOnGrid) {
+  const graph::Graph g = graph::grid(10, 10);
+  CompeteParams p = fast_params();
+  p.enable_icp_background = false;
+  const auto r = compete(g, 18, {{0, 8}}, p, 9);
+  EXPECT_TRUE(r.success);
+}
+
+TEST(Compete, AblationFixedBetaStillCompletes) {
+  const graph::Graph g = graph::grid(10, 10);
+  CompeteParams p = fast_params();
+  p.randomize_beta = false;
+  const auto r = compete(g, 18, {{0, 8}}, p, 10);
+  EXPECT_TRUE(r.success);
+}
+
+TEST(Compete, HwCurtailStillCompletes) {
+  const graph::Graph g = graph::grid(10, 10);
+  CompeteParams p = fast_params();
+  p.hw_curtail = true;
+  const auto r = compete(g, 18, {{0, 8}}, p, 11);
+  EXPECT_TRUE(r.success);
+}
+
+TEST(Compete, ColoredScheduleModeCompletes) {
+  const graph::Graph g = graph::grid(8, 8);
+  CompeteParams p = fast_params();
+  p.mode = schedule::ScheduleMode::kColored;
+  const auto r = compete(g, 14, {{0, 8}}, p, 12);
+  EXPECT_TRUE(r.success);
+}
+
+TEST(Compete, RoundBudgetRespected) {
+  const graph::Graph g = graph::path(200);
+  CompeteParams p = fast_params();
+  p.round_budget_factor = 0.0001;  // absurdly small: must stop early
+  const auto r = compete(g, 199, {{0, 1}}, p, 13);
+  EXPECT_FALSE(r.success);
+  EXPECT_LT(r.rounds, 1000u);
+}
+
+// Families x seeds sweep: Theorem 4.1 correctness everywhere.
+class CompeteFamilies
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(CompeteFamilies, AllInformed) {
+  const auto [fam, seed] = GetParam();
+  util::Rng rng(seed * 1000 + fam);
+  graph::Graph g;
+  switch (fam) {
+    case 0: g = graph::path(150); break;
+    case 1: g = graph::cycle(150); break;
+    case 2: g = graph::grid(12, 13); break;
+    case 3: g = graph::path_of_cliques(20, 8); break;
+    case 4: g = graph::random_geometric(250, 0.09, rng); break;
+    case 5: g = graph::gnp(250, 0.025, rng); break;
+    case 6: g = graph::random_recursive_tree(250, rng); break;
+    case 7: g = graph::star(100); break;
+    case 8: g = graph::caterpillar(30, 4); break;
+    default: g = graph::hypercube(7); break;
+  }
+  const auto d = graph::diameter_double_sweep(g);
+  std::vector<CompeteSource> sources{
+      {0, 3}, {static_cast<graph::NodeId>(g.node_count() / 2), 11}};
+  const auto r = compete(g, std::max(2u, d), sources, fast_params(), seed);
+  EXPECT_TRUE(r.success) << "family " << fam << " seed " << seed << ": "
+                         << r.informed << "/" << g.node_count();
+  EXPECT_EQ(r.winner, 11u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesSeeds, CompeteFamilies,
+    ::testing::Combine(::testing::Range(0, 10),
+                       ::testing::Values(1u, 2u, 3u)));
+
+}  // namespace
+}  // namespace radiocast::core

@@ -1,0 +1,205 @@
+// Engine + Protocol interface tests: a tiny flooding protocol written
+// against the node-local API must complete broadcast on collision-free
+// topologies and respect the model's information constraints.
+#include "radio/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "schedule/decay.hpp"
+
+namespace radiocast::radio {
+namespace {
+
+/// Flood: the source transmits its message every round; every node that
+/// has the message transmits it every round. On a path this is collision-
+/// free and advances exactly one hop per round.
+class FloodProtocol : public Protocol {
+ public:
+  explicit FloodProtocol(bool is_source) : is_source_(is_source) {}
+  void start(const NodeInfo& info, util::Rng rng) override {
+    info_ = info;
+    (void)rng;
+    if (is_source_) payload_ = 42;
+  }
+  Action on_round(Round) override {
+    return payload_ == kNoPayload ? Action::listen() : Action::send(payload_);
+  }
+  void on_message(Round, Payload p) override {
+    if (payload_ == kNoPayload) payload_ = p;
+  }
+  bool done() const override { return payload_ != kNoPayload; }
+  Payload payload() const { return payload_; }
+
+ private:
+  bool is_source_;
+  NodeInfo info_{};
+  Payload payload_ = kNoPayload;
+};
+
+/// Decay-based flooding, correct on any topology whp.
+class DecayFloodProtocol : public Protocol {
+ public:
+  explicit DecayFloodProtocol(bool is_source) : is_source_(is_source) {}
+  void start(const NodeInfo& info, util::Rng rng) override {
+    rng_ = rng;
+    lambda_ = schedule::decay_round_length(info.n);
+    if (is_source_) payload_ = 7;
+  }
+  Action on_round(Round r) override {
+    if (payload_ == kNoPayload) return Action::listen();
+    const std::uint32_t step =
+        static_cast<std::uint32_t>(r % lambda_) + 1;
+    if (rng_.bernoulli(schedule::decay_probability(step))) {
+      return Action::send(payload_);
+    }
+    return Action::listen();
+  }
+  void on_message(Round, Payload p) override {
+    if (payload_ == kNoPayload) payload_ = p;
+  }
+  bool done() const override { return payload_ != kNoPayload; }
+
+ private:
+  bool is_source_;
+  util::Rng rng_{0};
+  std::uint32_t lambda_ = 1;
+  Payload payload_ = kNoPayload;
+};
+
+TEST(Engine, FloodOnPathTakesExactlyDistanceRounds) {
+  const auto g = graph::path(10);
+  Engine eng(g, 9);
+  util::Rng seeds(1);
+  eng.install(
+      [](graph::NodeId v) -> std::unique_ptr<Protocol> {
+        return std::make_unique<FloodProtocol>(v == 0);
+      },
+      seeds);
+  const auto r = eng.run(100);
+  EXPECT_TRUE(r.all_done);
+  EXPECT_EQ(r.rounds, 9u);  // one hop per round, 9 hops
+}
+
+TEST(Engine, FloodOnStarCollidesForever) {
+  // Source = leaf 1. Round 0: centre informed. Round 1+: centre and leaf 1
+  // both transmit -> every other leaf has 1 transmitting neighbour (the
+  // centre) ... leaves 2..: neighbours = {0}; 0 transmits, 1 transmits but
+  // is not their neighbour, so they DO get informed. The real collision
+  // case: two informed leaves + centre listening. Build: source = centre.
+  // Then round 1: all leaves informed (centre unique transmitter). Done.
+  // Instead: two sources (leaves 1 and 2) -> centre never receives.
+  const auto g = graph::star(5);
+  Engine eng(g, 2);
+  util::Rng seeds(2);
+  eng.install(
+      [](graph::NodeId v) -> std::unique_ptr<Protocol> {
+        return std::make_unique<FloodProtocol>(v == 1 || v == 2);
+      },
+      seeds);
+  const auto r = eng.run(200);
+  EXPECT_FALSE(r.all_done);  // deterministic collision at the centre
+  EXPECT_TRUE(r.hit_round_limit);
+  EXPECT_GT(r.collisions, 0u);
+}
+
+TEST(Engine, DecayFloodInformsEveryoneDespiteCollisions) {
+  util::Rng rng(3);
+  const auto g = graph::random_geometric(150, 0.12, rng);
+  Engine eng(g, 30);
+  util::Rng seeds(4);
+  eng.install(
+      [](graph::NodeId v) -> std::unique_ptr<Protocol> {
+        return std::make_unique<DecayFloodProtocol>(v == 0);
+      },
+      seeds);
+  const auto r = eng.run(20000);
+  EXPECT_TRUE(r.all_done);
+}
+
+TEST(Engine, StopPredicateEndsRun) {
+  const auto g = graph::path(50);
+  Engine eng(g, 49);
+  util::Rng seeds(5);
+  eng.install(
+      [](graph::NodeId v) -> std::unique_ptr<Protocol> {
+        return std::make_unique<FloodProtocol>(v == 0);
+      },
+      seeds);
+  const auto r = eng.run(
+      1000, [](const Engine& e) { return e.round() >= 5; });
+  EXPECT_EQ(r.rounds, 5u);
+  EXPECT_FALSE(r.all_done);
+}
+
+TEST(Engine, TraceRecordsActivity) {
+  const auto g = graph::path(6);
+  Engine eng(g, 5);
+  Trace trace;
+  eng.attach_trace(&trace);
+  util::Rng seeds(6);
+  eng.install(
+      [](graph::NodeId v) -> std::unique_ptr<Protocol> {
+        return std::make_unique<FloodProtocol>(v == 0);
+      },
+      seeds);
+  eng.run(100);
+  ASSERT_EQ(trace.rounds().size(), 5u);
+  // Flood on a path: round t has t+1 transmitters.
+  EXPECT_EQ(trace.rounds()[0].transmitters, 1u);
+  EXPECT_EQ(trace.rounds()[4].transmitters, 5u);
+  EXPECT_EQ(trace.total_deliveries(), 5u);
+  EXPECT_FALSE(trace.activity_summary().empty());
+}
+
+TEST(Engine, ProtocolSeesCorrectNodeInfo) {
+  class Probe : public Protocol {
+   public:
+    void start(const NodeInfo& info, util::Rng) override { info_ = info; }
+    Action on_round(Round) override { return Action::listen(); }
+    void on_message(Round, Payload) override {}
+    NodeInfo info_{};
+  };
+  const auto g = graph::cycle(7);
+  Engine eng(g, 3);
+  util::Rng seeds(7);
+  eng.install(
+      [](graph::NodeId) -> std::unique_ptr<Protocol> {
+        return std::make_unique<Probe>();
+      },
+      seeds);
+  for (graph::NodeId v = 0; v < 7; ++v) {
+    const auto& p = static_cast<Probe&>(eng.protocol(v));
+    EXPECT_EQ(p.info_.node_id, v);
+    EXPECT_EQ(p.info_.n, 7u);
+    EXPECT_EQ(p.info_.diameter, 3u);
+  }
+}
+
+TEST(Engine, CollisionDetectionModelInvokesCallback) {
+  class CdProbe : public Protocol {
+   public:
+    explicit CdProbe(bool tx) : tx_(tx) {}
+    void start(const NodeInfo&, util::Rng) override {}
+    Action on_round(Round) override {
+      return tx_ ? Action::send(1) : Action::listen();
+    }
+    void on_message(Round, Payload) override {}
+    void on_collision(Round) override { ++collisions_; }
+    bool tx_;
+    int collisions_ = 0;
+  };
+  const auto g = graph::star(4);
+  Engine eng(g, 2, CollisionModel::kDetection);
+  util::Rng seeds(8);
+  eng.install(
+      [](graph::NodeId v) -> std::unique_ptr<Protocol> {
+        return std::make_unique<CdProbe>(v != 0);
+      },
+      seeds);
+  eng.run(3);
+  EXPECT_EQ(static_cast<CdProbe&>(eng.protocol(0)).collisions_, 3);
+}
+
+}  // namespace
+}  // namespace radiocast::radio

@@ -1,0 +1,214 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+
+namespace radiocast::graph {
+namespace {
+
+TEST(Generators, PathShape) {
+  const Graph g = path(10);
+  EXPECT_EQ(g.node_count(), 10u);
+  EXPECT_EQ(g.edge_count(), 9u);
+  EXPECT_EQ(diameter_exact(g), 9u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(5), 2u);
+}
+
+TEST(Generators, SingleNodePath) {
+  const Graph g = path(1);
+  EXPECT_EQ(g.node_count(), 1u);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(Generators, CycleShape) {
+  const Graph g = cycle(8);
+  EXPECT_EQ(g.edge_count(), 8u);
+  EXPECT_EQ(diameter_exact(g), 4u);
+  for (NodeId v = 0; v < 8; ++v) EXPECT_EQ(g.degree(v), 2u);
+}
+
+TEST(Generators, CliqueShape) {
+  const Graph g = clique(6);
+  EXPECT_EQ(g.edge_count(), 15u);
+  EXPECT_EQ(diameter_exact(g), 1u);
+}
+
+TEST(Generators, StarShape) {
+  const Graph g = star(7);
+  EXPECT_EQ(g.edge_count(), 6u);
+  EXPECT_EQ(g.degree(0), 6u);
+  EXPECT_EQ(diameter_exact(g), 2u);
+}
+
+TEST(Generators, GridShapeAndDiameter) {
+  const Graph g = grid(4, 6);
+  EXPECT_EQ(g.node_count(), 24u);
+  EXPECT_EQ(g.edge_count(), 4u * 5 + 3u * 6);
+  EXPECT_EQ(diameter_exact(g), 4u + 6u - 2u);
+}
+
+TEST(Generators, TorusIsRegular) {
+  const Graph g = torus(4, 5);
+  EXPECT_EQ(g.node_count(), 20u);
+  for (NodeId v = 0; v < 20; ++v) EXPECT_EQ(g.degree(v), 4u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, BalancedBinaryTree) {
+  const Graph g = balanced_binary_tree(15);
+  EXPECT_EQ(g.edge_count(), 14u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(diameter_exact(g), 6u);  // leaf -> root -> leaf
+}
+
+TEST(Generators, RandomRecursiveTreeIsTree) {
+  util::Rng rng(5);
+  const Graph g = random_recursive_tree(200, rng);
+  EXPECT_EQ(g.edge_count(), 199u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, CaterpillarShape) {
+  const Graph g = caterpillar(5, 3);
+  EXPECT_EQ(g.node_count(), 20u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(diameter_exact(g), 6u);  // leg - spine(4 hops) - leg
+}
+
+TEST(Generators, HypercubeShape) {
+  const Graph g = hypercube(4);
+  EXPECT_EQ(g.node_count(), 16u);
+  EXPECT_EQ(g.edge_count(), 32u);
+  EXPECT_EQ(diameter_exact(g), 4u);
+}
+
+TEST(Generators, GnpConnectedAndPlausibleDensity) {
+  util::Rng rng(7);
+  const Graph g = gnp(400, 0.02, rng);
+  EXPECT_TRUE(is_connected(g));
+  // E[m] ~ C(400,2)*0.02 = 1596; repair adds few edges.
+  EXPECT_GT(g.edge_count(), 1200u);
+  EXPECT_LT(g.edge_count(), 2000u);
+}
+
+TEST(Generators, GnpZeroProbabilityStillConnected) {
+  util::Rng rng(9);
+  const Graph g = gnp(50, 0.0, rng);
+  EXPECT_TRUE(is_connected(g));  // pure repair chain
+  EXPECT_EQ(g.edge_count(), 49u);
+}
+
+TEST(Generators, GnpFullProbabilityIsClique) {
+  util::Rng rng(11);
+  const Graph g = gnp(20, 1.0, rng);
+  EXPECT_EQ(g.edge_count(), 190u);
+}
+
+TEST(Generators, RandomGeometricConnected) {
+  util::Rng rng(13);
+  const Graph g = random_geometric(500, 0.08, rng);
+  EXPECT_EQ(g.node_count(), 500u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, RandomGeometricRespectsRadius) {
+  // With a big radius everything connects directly.
+  util::Rng rng(15);
+  const Graph g = random_geometric(30, 2.0, rng);
+  EXPECT_EQ(g.edge_count(), 30u * 29 / 2);
+}
+
+TEST(Generators, PathOfCliquesShape) {
+  const Graph g = path_of_cliques(5, 4);
+  EXPECT_EQ(g.node_count(), 20u);
+  EXPECT_TRUE(is_connected(g));
+  // Each bead is a K4 (6 edges), 4 bridges.
+  EXPECT_EQ(g.edge_count(), 5u * 6 + 4);
+  // Diameter: within bead 1 hop ends, bridge 1: 3*5-2... measured:
+  EXPECT_EQ(diameter_exact(g), 9u);
+}
+
+TEST(Generators, CylinderShape) {
+  const Graph g = cylinder(6, 5);
+  EXPECT_EQ(g.node_count(), 30u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(diameter_exact(g), 5u + 2u);
+}
+
+TEST(Generators, BarbellShape) {
+  const Graph g = barbell(5, 3);
+  EXPECT_EQ(g.node_count(), 13u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(diameter_exact(g), 6u);  // clique hop + 4 path hops + clique hop
+}
+
+TEST(Generators, LollipopShape) {
+  const Graph g = lollipop(6, 4);
+  EXPECT_EQ(g.node_count(), 10u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(diameter_exact(g), 5u);
+}
+
+TEST(Generators, RegularishDegreeAndConnectivity) {
+  util::Rng rng(17);
+  const Graph g = random_regularish(300, 6, rng);
+  EXPECT_TRUE(is_connected(g));
+  // Union of 3 permutation cycles: degree <= 6, most nodes exactly 6 minus
+  // dedup losses.
+  EXPECT_LE(g.max_degree(), 6u);
+  EXPECT_GT(g.average_degree(), 4.0);
+  // Expander-like: diameter O(log n).
+  EXPECT_LT(diameter_double_sweep(g), 20u);
+}
+
+TEST(Generators, NecklaceShape) {
+  util::Rng rng(19);
+  const Graph g = necklace(8, 30, 4, rng);
+  EXPECT_EQ(g.node_count(), 240u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, DiameterControlledHitsTarget) {
+  for (NodeId d : {9u, 30u, 60u}) {
+    const Graph g = diameter_controlled(600, d);
+    EXPECT_EQ(g.node_count(), 600u);
+    EXPECT_TRUE(is_connected(g));
+    const auto measured = diameter_exact(g);
+    // Within a factor ~1.5 of the request (bead rounding).
+    EXPECT_GE(measured, d / 2) << "requested " << d;
+    EXPECT_LE(measured, d + d / 2 + 3) << "requested " << d;
+  }
+}
+
+TEST(Generators, InvalidArgumentsThrow) {
+  util::Rng rng(21);
+  EXPECT_THROW(path(0), std::invalid_argument);
+  EXPECT_THROW(cycle(2), std::invalid_argument);
+  EXPECT_THROW(grid(0, 3), std::invalid_argument);
+  EXPECT_THROW(torus(2, 5), std::invalid_argument);
+  EXPECT_THROW(hypercube(0), std::invalid_argument);
+  EXPECT_THROW(random_geometric(10, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(random_regularish(10, 3, rng), std::invalid_argument);
+  EXPECT_THROW(diameter_controlled(10, 2), std::invalid_argument);
+}
+
+// Every family the experiments use must be connected across seeds — the
+// radio model requires it for global propagation.
+class GeneratorConnectivity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GeneratorConnectivity, AllFamiliesConnected) {
+  util::Rng rng(GetParam());
+  EXPECT_TRUE(is_connected(gnp(200, 0.015, rng)));
+  EXPECT_TRUE(is_connected(random_geometric(200, 0.09, rng)));
+  EXPECT_TRUE(is_connected(random_recursive_tree(200, rng)));
+  EXPECT_TRUE(is_connected(random_regularish(200, 4, rng)));
+  EXPECT_TRUE(is_connected(necklace(5, 40, 4, rng)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorConnectivity,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace radiocast::graph

@@ -1,0 +1,124 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace radiocast::graph {
+namespace {
+
+TEST(GraphBuilder, BasicTriangle) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(2, 0);
+  const Graph g = b.build();
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 3u);
+  for (NodeId v = 0; v < 3; ++v) EXPECT_EQ(g.degree(v), 2u);
+}
+
+TEST(GraphBuilder, DeduplicatesParallelEdges) {
+  GraphBuilder b(2);
+  b.add_edge(0, 1);
+  b.add_edge(1, 0);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  EXPECT_EQ(g.edge_count(), 1u);
+  EXPECT_EQ(g.degree(0), 1u);
+}
+
+TEST(GraphBuilder, IgnoresSelfLoops) {
+  GraphBuilder b(2);
+  b.add_edge(0, 0);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  EXPECT_EQ(g.edge_count(), 1u);
+}
+
+TEST(GraphBuilder, OutOfRangeThrows) {
+  GraphBuilder b(3);
+  EXPECT_THROW(b.add_edge(0, 3), std::out_of_range);
+  EXPECT_THROW(b.add_edge(5, 1), std::out_of_range);
+}
+
+TEST(GraphBuilder, ReusableAfterBuild) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const Graph g1 = b.build();
+  b.add_edge(1, 2);
+  const Graph g2 = b.build();
+  EXPECT_EQ(g1.edge_count(), 1u);
+  EXPECT_EQ(g2.edge_count(), 2u);
+}
+
+TEST(Graph, NeighborsAreSorted) {
+  GraphBuilder b(5);
+  b.add_edge(2, 4);
+  b.add_edge(2, 0);
+  b.add_edge(2, 3);
+  b.add_edge(2, 1);
+  const Graph g = b.build();
+  const auto nb = g.neighbors(2);
+  ASSERT_EQ(nb.size(), 4u);
+  for (std::size_t i = 1; i < nb.size(); ++i) EXPECT_LT(nb[i - 1], nb[i]);
+}
+
+TEST(Graph, HasEdgeSymmetry) {
+  GraphBuilder b(4);
+  b.add_edge(1, 3);
+  const Graph g = b.build();
+  EXPECT_TRUE(g.has_edge(1, 3));
+  EXPECT_TRUE(g.has_edge(3, 1));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_FALSE(g.has_edge(1, 1));
+  EXPECT_FALSE(g.has_edge(1, 99));  // out of range is just "no edge"
+}
+
+TEST(Graph, EdgesListCanonical) {
+  GraphBuilder b(4);
+  b.add_edge(3, 1);
+  b.add_edge(0, 2);
+  const Graph g = b.build();
+  const auto e = g.edges();
+  ASSERT_EQ(e.size(), 2u);
+  EXPECT_EQ(e[0], std::make_pair(NodeId{0}, NodeId{2}));
+  EXPECT_EQ(e[1], std::make_pair(NodeId{1}, NodeId{3}));
+}
+
+TEST(Graph, EmptyGraph) {
+  GraphBuilder b(0);
+  const Graph g = b.build();
+  EXPECT_EQ(g.node_count(), 0u);
+  EXPECT_EQ(g.edge_count(), 0u);
+}
+
+TEST(Graph, IsolatedNodes) {
+  GraphBuilder b(10);
+  b.add_edge(0, 9);
+  const Graph g = b.build();
+  EXPECT_EQ(g.node_count(), 10u);
+  EXPECT_EQ(g.degree(5), 0u);
+  EXPECT_TRUE(g.neighbors(5).empty());
+}
+
+TEST(Graph, DegreeStatistics) {
+  GraphBuilder b(4);  // star around 0
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(0, 3);
+  const Graph g = b.build();
+  EXPECT_EQ(g.max_degree(), 3u);
+  EXPECT_DOUBLE_EQ(g.average_degree(), 6.0 / 4.0);
+}
+
+TEST(Graph, SummaryMentionsCounts) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const std::string s = b.build().summary();
+  EXPECT_NE(s.find("n=3"), std::string::npos);
+  EXPECT_NE(s.find("m=1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace radiocast::graph

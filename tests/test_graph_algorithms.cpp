@@ -1,0 +1,175 @@
+#include "graph/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace radiocast::graph {
+namespace {
+
+TEST(Bfs, DistancesOnPath) {
+  const Graph g = path(6);
+  const auto d = bfs_distances(g, 0);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(d[v], v);
+}
+
+TEST(Bfs, UnreachableMarked) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const Graph g = b.build();
+  const auto d = bfs_distances(g, 0);
+  EXPECT_EQ(d[1], 1u);
+  EXPECT_EQ(d[2], kUnreachable);
+  EXPECT_EQ(d[3], kUnreachable);
+}
+
+TEST(Bfs, TreeParentsConsistent) {
+  util::Rng rng(3);
+  const Graph g = gnp(150, 0.04, rng);
+  const auto t = bfs_tree(g, 0);
+  EXPECT_EQ(t.parent[0], 0u);
+  for (NodeId v = 1; v < g.node_count(); ++v) {
+    ASSERT_NE(t.parent[v], kInvalidNode);
+    EXPECT_EQ(t.dist[v], t.dist[t.parent[v]] + 1);
+    EXPECT_TRUE(g.has_edge(v, t.parent[v]));
+  }
+}
+
+TEST(Bfs, SourceOutOfRangeThrows) {
+  const Graph g = path(3);
+  EXPECT_THROW(bfs_distances(g, 3), std::out_of_range);
+}
+
+TEST(MultiBfs, NearestSourceAssignment) {
+  const Graph g = path(10);
+  const auto r = multi_source_bfs(g, {0, 9});
+  EXPECT_EQ(r.dist[0], 0u);
+  EXPECT_EQ(r.dist[9], 0u);
+  EXPECT_EQ(r.dist[4], 4u);
+  EXPECT_EQ(r.nearest_source[1], 0u);
+  EXPECT_EQ(r.nearest_source[8], 9u);
+}
+
+TEST(MultiBfs, MatchesMinOfSingleSourceBfs) {
+  util::Rng rng(5);
+  const Graph g = random_geometric(200, 0.1, rng);
+  const std::vector<NodeId> sources{3, 77, 150};
+  const auto multi = multi_source_bfs(g, sources);
+  std::vector<std::vector<std::uint32_t>> singles;
+  for (NodeId s : sources) singles.push_back(bfs_distances(g, s));
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    std::uint32_t best = kUnreachable;
+    for (const auto& d : singles) best = std::min(best, d[v]);
+    EXPECT_EQ(multi.dist[v], best);
+  }
+}
+
+TEST(Components, CountsAndLabels) {
+  GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(1, 2);
+  b.add_edge(3, 4);
+  const Graph g = b.build();
+  const auto c = connected_components(g);
+  EXPECT_EQ(c[0], c[1]);
+  EXPECT_EQ(c[1], c[2]);
+  EXPECT_EQ(c[3], c[4]);
+  EXPECT_NE(c[0], c[3]);
+  EXPECT_NE(c[5], c[0]);
+  EXPECT_NE(c[5], c[3]);
+}
+
+TEST(Components, ConnectedPredicates) {
+  EXPECT_TRUE(is_connected(path(5)));
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  EXPECT_FALSE(is_connected(b.build()));
+  EXPECT_TRUE(is_connected(GraphBuilder(0).build()));
+}
+
+TEST(Diameter, ExactOnKnownGraphs) {
+  EXPECT_EQ(diameter_exact(path(7)), 6u);
+  EXPECT_EQ(diameter_exact(cycle(9)), 4u);
+  EXPECT_EQ(diameter_exact(clique(5)), 1u);
+  EXPECT_EQ(diameter_exact(grid(3, 3)), 4u);
+}
+
+TEST(Diameter, DoubleSweepExactOnTrees) {
+  util::Rng rng(7);
+  for (int i = 0; i < 5; ++i) {
+    const Graph g = random_recursive_tree(120, rng);
+    EXPECT_EQ(diameter_double_sweep(g), diameter_exact(g));
+  }
+}
+
+TEST(Diameter, DoubleSweepIsLowerBound) {
+  util::Rng rng(9);
+  const Graph g = gnp(150, 0.03, rng);
+  EXPECT_LE(diameter_double_sweep(g), diameter_exact(g));
+}
+
+TEST(Diameter, BoundsBracketExact) {
+  util::Rng rng(11);
+  for (int i = 0; i < 5; ++i) {
+    const Graph g = random_geometric(150, 0.12, rng);
+    const auto exact = diameter_exact(g);
+    const auto [lo, hi] = diameter_bounds(g);
+    EXPECT_LE(lo, exact);
+    EXPECT_GE(hi, exact);
+  }
+}
+
+TEST(Eccentricity, CenterVsEndOfPath) {
+  const Graph g = path(9);
+  EXPECT_EQ(eccentricity(g, 0), 8u);
+  EXPECT_EQ(eccentricity(g, 4), 4u);
+}
+
+TEST(Eccentricity, DisconnectedThrows) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  EXPECT_THROW(eccentricity(b.build(), 0), std::invalid_argument);
+}
+
+TEST(ShortestPath, EndpointsAndLength) {
+  const Graph g = grid(4, 4);
+  const auto p = shortest_path(g, 0, 15);
+  ASSERT_FALSE(p.empty());
+  EXPECT_EQ(p.front(), 0u);
+  EXPECT_EQ(p.back(), 15u);
+  EXPECT_EQ(p.size(), bfs_distances(g, 0)[15] + 1);
+  for (std::size_t i = 1; i < p.size(); ++i) {
+    EXPECT_TRUE(g.has_edge(p[i - 1], p[i]));
+  }
+}
+
+TEST(ShortestPath, TrivialAndUnreachable) {
+  const Graph g = path(3);
+  const auto self = shortest_path(g, 1, 1);
+  ASSERT_EQ(self.size(), 1u);
+  EXPECT_EQ(self[0], 1u);
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  EXPECT_TRUE(shortest_path(b.build(), 0, 3).empty());
+}
+
+TEST(ShortestPath, CanonicalIsDeterministic) {
+  util::Rng rng(13);
+  const Graph g = gnp(100, 0.05, rng);
+  const auto p1 = shortest_path(g, 2, 50);
+  const auto p2 = shortest_path(g, 2, 50);
+  EXPECT_EQ(p1, p2);  // Section 4's "canonical shortest path" is fixed
+}
+
+TEST(Degeneracy, KnownValues) {
+  EXPECT_EQ(degeneracy(path(10)), 1u);
+  EXPECT_EQ(degeneracy(cycle(10)), 2u);
+  EXPECT_EQ(degeneracy(clique(6)), 5u);
+  EXPECT_EQ(degeneracy(star(10)), 1u);
+  EXPECT_EQ(degeneracy(grid(5, 5)), 2u);
+}
+
+}  // namespace
+}  // namespace radiocast::graph

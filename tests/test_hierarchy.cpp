@@ -1,0 +1,126 @@
+#include "cluster/hierarchy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace radiocast::cluster {
+namespace {
+
+TEST(Hierarchy, StructureMatchesParams) {
+  util::Rng rng(1);
+  const graph::Graph g = graph::path_of_cliques(40, 8);
+  const auto d = graph::diameter_double_sweep(g);
+  HierarchyParams params;
+  const Hierarchy h(g, d, params, rng);
+  EXPECT_GE(h.j_values().size(), 1u);
+  EXPECT_GE(h.reps_per_j(), 1u);
+  EXPECT_EQ(h.fine_count(), h.j_values().size() * h.reps_per_j());
+  // j values ascending and >= 1.
+  for (std::size_t i = 0; i < h.j_values().size(); ++i) {
+    EXPECT_GE(h.j_values()[i], 1u);
+    if (i > 0) EXPECT_GT(h.j_values()[i], h.j_values()[i - 1]);
+  }
+  EXPECT_GT(h.charged_precompute_rounds(), 0u);
+}
+
+TEST(Hierarchy, FinePartitionsRespectCoarseRegions) {
+  util::Rng rng(2);
+  const graph::Graph g = graph::grid(20, 20);
+  const Hierarchy h(g, 38, HierarchyParams{}, rng);
+  for (std::size_t ji = 0; ji < h.j_values().size(); ++ji) {
+    for (std::uint32_t r = 0; r < h.reps_per_j(); ++r) {
+      const Partition& fine = h.fine(ji, r);
+      for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+        EXPECT_EQ(h.coarse().center[fine.center[v]], h.coarse().center[v]);
+      }
+    }
+  }
+}
+
+TEST(Hierarchy, SequenceChoiceDeterministicAndValid) {
+  util::Rng rng(3);
+  const graph::Graph g = graph::grid(15, 15);
+  const Hierarchy h(g, 28, HierarchyParams{}, rng);
+  for (std::uint64_t pos = 0; pos < 50; ++pos) {
+    const auto a = h.sequence_choice(0, pos);
+    const auto b = h.sequence_choice(0, pos);
+    EXPECT_EQ(a.j_index, b.j_index);
+    EXPECT_EQ(a.rep, b.rep);
+    EXPECT_LT(a.j_index, h.j_values().size());
+    EXPECT_LT(a.rep, h.reps_per_j());
+    EXPECT_EQ(a.j, h.j_values()[a.j_index]);
+    EXPECT_NEAR(a.beta, std::ldexp(1.0, -static_cast<int>(a.j)), 1e-12);
+  }
+}
+
+TEST(Hierarchy, SequenceDiffersAcrossCenters) {
+  // Different coarse centres draw independent sequences (step 5).
+  util::Rng rng(4);
+  const graph::Graph g = graph::grid(15, 15);
+  HierarchyParams params;
+  params.fine_reps_exponent = 0.6;  // more reps so collisions are unlikely
+  const Hierarchy h(g, 28, params, rng);
+  if (h.fine_count() < 4) GTEST_SKIP() << "too few clusterings to compare";
+  int same = 0, total = 0;
+  for (std::uint64_t pos = 0; pos < 40; ++pos) {
+    const auto a = h.sequence_choice(1, pos);
+    const auto b = h.sequence_choice(2, pos);
+    same += (a.j_index == b.j_index && a.rep == b.rep);
+    ++total;
+  }
+  EXPECT_LT(same, total);
+}
+
+TEST(Hierarchy, RandomizedChoiceCoversGrid) {
+  util::Rng rng(5);
+  const graph::Graph g = graph::grid(15, 15);
+  HierarchyParams params;
+  params.fine_reps_exponent = 0.45;
+  const Hierarchy h(g, 28, params, rng);
+  std::map<std::pair<std::size_t, std::uint32_t>, int> counts;
+  for (std::uint64_t pos = 0; pos < 64 * h.fine_count(); ++pos) {
+    const auto c = h.sequence_choice(7, pos);
+    ++counts[{c.j_index, c.rep}];
+  }
+  EXPECT_EQ(counts.size(), h.fine_count());  // uniform choice hits all
+}
+
+TEST(Hierarchy, FixedBetaModeIsRoundRobinAtMaxJ) {
+  util::Rng rng(6);
+  const graph::Graph g = graph::grid(15, 15);
+  Hierarchy h(g, 28, HierarchyParams{}, rng);
+  h.set_randomize(false);
+  const std::size_t j_max_index = h.j_values().size() - 1;
+  for (std::uint64_t pos = 0; pos < 20; ++pos) {
+    const auto c = h.sequence_choice(3, pos);
+    EXPECT_EQ(c.j_index, j_max_index);
+    EXPECT_EQ(c.rep, pos % h.reps_per_j());
+  }
+}
+
+TEST(Hierarchy, MemoryCapTrimsReps) {
+  util::Rng rng(7);
+  const graph::Graph g = graph::grid(10, 10);
+  HierarchyParams params;
+  params.fine_reps_exponent = 2.0;  // absurd: D^2 reps
+  params.max_total_fine = 8;
+  const Hierarchy h(g, 18, params, rng);
+  EXPECT_LE(h.fine_count(), 8u + h.j_values().size());  // reps floor is 1
+}
+
+TEST(Hierarchy, CoarseBetaExponentRespected) {
+  util::Rng rng(8);
+  const graph::Graph g = graph::grid(20, 20);
+  HierarchyParams params;
+  params.coarse_beta_exponent = -0.5;
+  const Hierarchy h(g, 38, params, rng);
+  EXPECT_NEAR(h.coarse().beta, std::pow(38.0, -0.5), 1e-9);
+}
+
+}  // namespace
+}  // namespace radiocast::cluster

@@ -1,0 +1,68 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace radiocast::graph {
+namespace {
+
+TEST(Io, RoundTripPreservesGraph) {
+  util::Rng rng(3);
+  const Graph g = gnp(80, 0.06, rng);
+  std::stringstream ss;
+  write_edge_list(g, ss);
+  const Graph h = read_edge_list(ss);
+  EXPECT_EQ(h.node_count(), g.node_count());
+  EXPECT_EQ(h.edge_count(), g.edge_count());
+  EXPECT_EQ(h.edges(), g.edges());
+}
+
+TEST(Io, CommentsAndBlankLines) {
+  std::stringstream ss("# a comment\n\n3 2\n0 1 # inline\n\n1 2\n");
+  const Graph g = read_edge_list(ss);
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Io, MissingHeaderThrows) {
+  std::stringstream ss("zero one\n0 1\n");
+  EXPECT_THROW(read_edge_list(ss), std::invalid_argument);
+}
+
+TEST(Io, EmptyInputThrows) {
+  std::stringstream ss("");
+  EXPECT_THROW(read_edge_list(ss), std::invalid_argument);
+}
+
+TEST(Io, EdgeCountMismatchThrows) {
+  std::stringstream ss("3 5\n0 1\n1 2\n");
+  EXPECT_THROW(read_edge_list(ss), std::invalid_argument);
+}
+
+TEST(Io, FileRoundTrip) {
+  const Graph g = path(10);
+  const std::string p = "/tmp/radiocast_io_test.edges";
+  ASSERT_TRUE(write_edge_list_file(g, p));
+  const Graph h = read_edge_list_file(p);
+  EXPECT_EQ(h.edges(), g.edges());
+  std::remove(p.c_str());
+}
+
+TEST(Io, MissingFileThrows) {
+  EXPECT_THROW(read_edge_list_file("/nonexistent/xyz.edges"),
+               std::invalid_argument);
+}
+
+TEST(Io, NodeIdOutOfHeaderRangeThrows) {
+  std::stringstream ss("3 1\n0 7\n");
+  EXPECT_THROW(read_edge_list(ss), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace radiocast::graph

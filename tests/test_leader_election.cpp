@@ -1,0 +1,104 @@
+// Leader election (Algorithm 6 / Theorem 5.2): agreement, uniqueness,
+// leader validity across families and seeds.
+#include "core/leader_election.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace radiocast::core {
+namespace {
+
+TEST(LeaderElection, BasicGridElection) {
+  const graph::Graph g = graph::grid(10, 10);
+  const auto r = elect_leader(g, 18, LeaderElectionParams{}, 1);
+  ASSERT_TRUE(r.success);
+  EXPECT_LT(r.leader, g.node_count());
+  EXPECT_EQ(r.agreeing, g.node_count());
+  EXPECT_GT(r.candidate_count, 0u);
+}
+
+TEST(LeaderElection, CandidateCountIsThetaLogN) {
+  const graph::Graph g = graph::grid(20, 20);  // n = 400, log2 n ~ 8.6
+  double total = 0;
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const auto r = elect_leader(g, 38, LeaderElectionParams{}, seed);
+    total += r.candidate_count;
+  }
+  const double avg = total / 10;
+  // E[|C|] = candidate_c * log2 n ~ 17; accept a wide band.
+  EXPECT_GT(avg, 5.0);
+  EXPECT_LT(avg, 60.0);
+}
+
+TEST(LeaderElection, SingleNode) {
+  const graph::Graph g = graph::path(1);
+  const auto r = elect_leader(g, 1, LeaderElectionParams{}, 2);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.leader, 0u);
+}
+
+TEST(LeaderElection, TwoNodes) {
+  const graph::Graph g = graph::path(2);
+  const auto r = elect_leader(g, 1, LeaderElectionParams{}, 3);
+  EXPECT_TRUE(r.success);
+  EXPECT_LT(r.leader, 2u);
+}
+
+TEST(LeaderElection, DeterministicGivenSeed) {
+  const graph::Graph g = graph::cycle(50);
+  const auto a = elect_leader(g, 25, LeaderElectionParams{}, 9);
+  const auto b = elect_leader(g, 25, LeaderElectionParams{}, 9);
+  EXPECT_EQ(a.leader, b.leader);
+  EXPECT_EQ(a.rounds, b.rounds);
+}
+
+TEST(LeaderElection, LeaderVariesAcrossSeeds) {
+  const graph::Graph g = graph::grid(12, 12);
+  std::set<graph::NodeId> leaders;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const auto r = elect_leader(g, 22, LeaderElectionParams{}, seed);
+    ASSERT_TRUE(r.success);
+    leaders.insert(r.leader);
+  }
+  EXPECT_GT(leaders.size(), 1u);  // symmetry actually broken by randomness
+}
+
+TEST(LeaderElection, HigherCandidateRateStillWorks) {
+  const graph::Graph g = graph::grid(8, 8);
+  LeaderElectionParams p;
+  p.candidate_c = 8.0;  // many candidates
+  const auto r = elect_leader(g, 14, p, 4);
+  EXPECT_TRUE(r.success);
+}
+
+class LeFamilies
+    : public ::testing::TestWithParam<std::tuple<int, std::uint64_t>> {};
+
+TEST_P(LeFamilies, AgreementEverywhere) {
+  const auto [fam, seed] = GetParam();
+  util::Rng rng(seed * 100 + fam);
+  graph::Graph g;
+  switch (fam) {
+    case 0: g = graph::path(120); break;
+    case 1: g = graph::path_of_cliques(15, 8); break;
+    case 2: g = graph::random_geometric(200, 0.1, rng); break;
+    case 3: g = graph::gnp(200, 0.03, rng); break;
+    default: g = graph::balanced_binary_tree(127); break;
+  }
+  const auto d = std::max(2u, graph::diameter_double_sweep(g));
+  const auto r = elect_leader(g, d, LeaderElectionParams{}, seed);
+  EXPECT_TRUE(r.success) << "family " << fam << " seed " << seed
+                         << " agreeing " << r.agreeing << "/"
+                         << g.node_count();
+  EXPECT_LT(r.leader, g.node_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesSeeds, LeFamilies,
+    ::testing::Combine(::testing::Range(0, 5),
+                       ::testing::Values(1u, 2u, 3u)));
+
+}  // namespace
+}  // namespace radiocast::core

@@ -1,0 +1,90 @@
+#include "util/math.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace radiocast::util {
+namespace {
+
+TEST(Math, Ilog2) {
+  EXPECT_EQ(ilog2(0), 0u);
+  EXPECT_EQ(ilog2(1), 0u);
+  EXPECT_EQ(ilog2(2), 1u);
+  EXPECT_EQ(ilog2(3), 1u);
+  EXPECT_EQ(ilog2(4), 2u);
+  EXPECT_EQ(ilog2(1023), 9u);
+  EXPECT_EQ(ilog2(1024), 10u);
+  EXPECT_EQ(ilog2(std::uint64_t{1} << 63), 63u);
+}
+
+TEST(Math, Clog2) {
+  EXPECT_EQ(clog2(0), 0u);
+  EXPECT_EQ(clog2(1), 0u);
+  EXPECT_EQ(clog2(2), 1u);
+  EXPECT_EQ(clog2(3), 2u);
+  EXPECT_EQ(clog2(4), 2u);
+  EXPECT_EQ(clog2(5), 3u);
+  EXPECT_EQ(clog2(1024), 10u);
+  EXPECT_EQ(clog2(1025), 11u);
+}
+
+TEST(Math, SafeLogClampsBelow) {
+  EXPECT_DOUBLE_EQ(safe_log(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(safe_log(1.0), 1.0);
+  EXPECT_NEAR(safe_log(100.0), std::log(100.0), 1e-12);
+}
+
+TEST(Math, SafeLog2ClampsBelow) {
+  EXPECT_DOUBLE_EQ(safe_log2(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(safe_log2(2.0), 1.0);
+  EXPECT_NEAR(safe_log2(1024.0), 10.0, 1e-12);
+}
+
+TEST(Math, Fpow) {
+  EXPECT_NEAR(fpow(4.0, 0.5), 2.0, 1e-12);
+  EXPECT_NEAR(fpow(1000.0, -0.5), 1.0 / std::sqrt(1000.0), 1e-12);
+  EXPECT_DOUBLE_EQ(fpow(0.0, 2.0), 0.0);
+  EXPECT_DOUBLE_EQ(fpow(-3.0, 2.0), 0.0);  // defensive: negative base
+  EXPECT_NEAR(fpow(1024.0, 0.125), std::pow(1024.0, 0.125), 1e-9);
+}
+
+TEST(Math, CeilDiv) {
+  EXPECT_EQ(ceil_div(10, 5), 2u);
+  EXPECT_EQ(ceil_div(11, 5), 3u);
+  EXPECT_EQ(ceil_div(1, 100), 1u);
+  EXPECT_EQ(ceil_div(0, 3), 0u);
+}
+
+TEST(Math, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_TRUE(is_pow2(1024));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(1023));
+}
+
+TEST(Math, NextPow2) {
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1000), 1024u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+}
+
+TEST(Math, LogRatioMatchesPaperQuantity) {
+  // log n / log D, the paper's per-hop rate.
+  EXPECT_NEAR(log_ratio(1 << 20, 1 << 10), 2.0, 1e-12);
+  EXPECT_NEAR(log_ratio(1024, 1024), 1.0, 1e-12);
+}
+
+TEST(Math, LogRatioDegradesGracefully) {
+  // Tiny inputs clamp logs at 1 instead of dividing by ~zero.
+  EXPECT_GT(log_ratio(10, 1), 0.0);
+  EXPECT_LE(log_ratio(2, 2), std::log2(4.0));
+}
+
+}  // namespace
+}  // namespace radiocast::util

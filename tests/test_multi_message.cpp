@@ -1,0 +1,99 @@
+// k-message pipelined broadcast (Lemma 2.3's full interface).
+#include "core/multi_message.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace radiocast::core {
+namespace {
+
+std::vector<radio::Payload> make_messages(std::uint32_t k) {
+  std::vector<radio::Payload> m(k);
+  for (std::uint32_t i = 0; i < k; ++i) m[i] = 1000 + i;
+  return m;
+}
+
+TEST(MultiMessage, SingleMessageOnPath) {
+  const graph::Graph g = graph::path(30);
+  const auto r =
+      multi_message_broadcast(g, make_messages(1), MultiMessageParams{}, 1);
+  ASSERT_TRUE(r.success);
+  // period * (depth + 1) ideal; allow slack 2x.
+  EXPECT_LE(r.rounds, 2ull * r.period * 31);
+}
+
+TEST(MultiMessage, ManyMessagesPipeline) {
+  const graph::Graph g = graph::path(50);
+  const auto k = 40u;
+  const auto r =
+      multi_message_broadcast(g, make_messages(k), MultiMessageParams{}, 2);
+  ASSERT_TRUE(r.success);
+  // The whole point: rounds ~ period*(D + k), NOT period*D*k.
+  EXPECT_LT(r.pipeline_ratio, 2.0);
+  EXPECT_LT(r.rounds, 4ull * r.period * (50 + k));
+}
+
+TEST(MultiMessage, EmptyMessageSetVacuous) {
+  const graph::Graph g = graph::path(5);
+  const auto r = multi_message_broadcast(g, {}, MultiMessageParams{}, 3);
+  EXPECT_TRUE(r.success);
+  EXPECT_EQ(r.rounds, 0u);
+}
+
+TEST(MultiMessage, WorksOnDenseAndIrregularGraphs) {
+  util::Rng rng(4);
+  const graph::Graph graphs[] = {
+      graph::grid(12, 12),
+      graph::random_geometric(250, 0.1, rng),
+      graph::path_of_cliques(15, 8),
+      graph::star(50),
+  };
+  for (const auto& g : graphs) {
+    const auto r = multi_message_broadcast(g, make_messages(10),
+                                           MultiMessageParams{}, 4);
+    EXPECT_TRUE(r.success) << g.summary();
+    EXPECT_LT(r.pipeline_ratio, 3.0) << g.summary();
+  }
+}
+
+TEST(MultiMessage, RootChoiceRespected) {
+  const graph::Graph g = graph::path(20);
+  MultiMessageParams p;
+  p.root = 19;
+  const auto r = multi_message_broadcast(g, make_messages(3), p, 5);
+  EXPECT_TRUE(r.success);
+}
+
+TEST(MultiMessage, BadRootThrows) {
+  const graph::Graph g = graph::path(5);
+  MultiMessageParams p;
+  p.root = 7;
+  EXPECT_THROW(multi_message_broadcast(g, make_messages(1), p, 6),
+               std::invalid_argument);
+}
+
+TEST(MultiMessage, BudgetRespected) {
+  const graph::Graph g = graph::path(200);
+  MultiMessageParams p;
+  p.max_rounds = 10;
+  const auto r = multi_message_broadcast(g, make_messages(5), p, 7);
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.rounds, 10u);
+}
+
+TEST(MultiMessage, LinearInKNotMultiplicative) {
+  // Doubling k must add ~period*k rounds, not double the total.
+  const graph::Graph g = graph::grid(10, 10);
+  const auto r1 = multi_message_broadcast(g, make_messages(20),
+                                          MultiMessageParams{}, 8);
+  const auto r2 = multi_message_broadcast(g, make_messages(40),
+                                          MultiMessageParams{}, 8);
+  ASSERT_TRUE(r1.success);
+  ASSERT_TRUE(r2.success);
+  EXPECT_LT(r2.rounds, r1.rounds + 3ull * r2.period * 25);
+}
+
+}  // namespace
+}  // namespace radiocast::core

@@ -1,0 +1,240 @@
+// Partition(beta) invariants: Section 2.1's clustering definition plus the
+// quantitative guarantees of Lemma 2.1 and Theorem 2.2 (statistical smoke
+// versions; the full sweeps are in bench_partition / bench_cluster_distance).
+#include "cluster/exponential_shifts.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "cluster/partition_stats.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "util/math.hpp"
+
+namespace radiocast::cluster {
+namespace {
+
+struct Family {
+  const char* name;
+  graph::Graph (*make)(util::Rng&);
+};
+
+graph::Graph make_grid(util::Rng&) { return graph::grid(20, 20); }
+graph::Graph make_rgg(util::Rng& rng) {
+  return graph::random_geometric(400, 0.08, rng);
+}
+graph::Graph make_gnp(util::Rng& rng) { return graph::gnp(400, 0.015, rng); }
+graph::Graph make_poc(util::Rng&) { return graph::path_of_cliques(40, 10); }
+graph::Graph make_tree(util::Rng& rng) {
+  return graph::random_recursive_tree(400, rng);
+}
+
+class PartitionInvariants
+    : public ::testing::TestWithParam<std::tuple<int, double>> {
+ protected:
+  static constexpr Family kFamilies[] = {
+      {"grid", make_grid},   {"rgg", make_rgg},   {"gnp", make_gnp},
+      {"cliques", make_poc}, {"tree", make_tree},
+  };
+};
+
+TEST_P(PartitionInvariants, DefinitionHolds) {
+  const auto [fam, beta] = GetParam();
+  util::Rng rng(1000 + fam);
+  const graph::Graph g = kFamilies[fam].make(rng);
+  const Partition p = partition(g, beta, rng);
+  // Every node is assigned.
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_TRUE(p.in_scope(v));
+  }
+  // Section 2.1: centre-of-anyone is centre-of-itself.
+  EXPECT_TRUE(centers_consistent(p));
+  // Section 2.1: the subgraph of each cluster is connected.
+  EXPECT_TRUE(clusters_connected(g, p));
+  // dist_to_center is the true intra-cluster BFS distance.
+  EXPECT_TRUE(distances_consistent(g, p));
+  // Tree parents are actual neighbours within the same cluster.
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    const graph::NodeId u = p.parent[v];
+    if (u == v) continue;
+    EXPECT_TRUE(g.has_edge(u, v));
+    EXPECT_EQ(p.center[u], p.center[v]);
+    EXPECT_EQ(p.dist_to_center[u] + 1, p.dist_to_center[v]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FamiliesAndBetas, PartitionInvariants,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 4),
+                       ::testing::Values(0.05, 0.2, 0.5)));
+
+TEST(Partition, LargeBetaMakesSingletonHeavyClustering) {
+  // beta -> infinity: delta ~ 0, every node is its own centre whp.
+  util::Rng rng(5);
+  const graph::Graph g = graph::grid(15, 15);
+  const Partition p = partition(g, 50.0, rng);
+  std::uint32_t centers = 0;
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    if (p.is_center(v)) ++centers;
+  }
+  EXPECT_GT(centers, g.node_count() / 2);
+}
+
+TEST(Partition, SmallBetaMakesFewClusters) {
+  util::Rng rng(6);
+  const graph::Graph g = graph::grid(15, 15);
+  const Partition p = partition(g, 0.01, rng);
+  const auto dense = p.dense_ids();
+  EXPECT_LT(dense.center_of_id.size(), 10u);
+}
+
+TEST(Partition, CutFractionScalesWithBeta) {
+  // Lemma 2.1: P[edge cut] = O(beta). Check the monotone trend and the
+  // constant on a grid (large sample of edges).
+  util::Rng rng(7);
+  const graph::Graph g = graph::grid(40, 40);
+  double prev = 0.0;
+  for (double beta : {0.05, 0.1, 0.2, 0.4}) {
+    double sum = 0;
+    for (int trial = 0; trial < 5; ++trial) {
+      sum += cut_fraction(g, partition(g, beta, rng));
+    }
+    const double frac = sum / 5;
+    EXPECT_GE(frac, prev * 0.7);  // roughly monotone in beta
+    EXPECT_LE(frac, 4.0 * beta);  // O(beta) with small constant
+    prev = frac;
+  }
+}
+
+TEST(Partition, StrongRadiusWithinLemmaBound) {
+  // Lemma 2.1: strong diameter O(log n / beta) whp. Radius <= diameter.
+  util::Rng rng(8);
+  const graph::Graph g = graph::grid(30, 30);
+  const double logn = util::safe_log2(g.node_count());
+  for (double beta : {0.1, 0.3}) {
+    const Partition p = partition(g, beta, rng);
+    for (const auto& info : cluster_infos(g, p)) {
+      EXPECT_LE(info.strong_radius, 4.0 * logn / beta) << "beta=" << beta;
+      EXPECT_LE(info.strong_diameter_lb, 8.0 * logn / beta);
+    }
+  }
+}
+
+TEST(Partition, DeterministicGivenSeed) {
+  util::Rng rng1(9), rng2(9);
+  const graph::Graph g = graph::grid(10, 10);
+  const Partition a = partition(g, 0.3, rng1);
+  const Partition b = partition(g, 0.3, rng2);
+  EXPECT_EQ(a.center, b.center);
+  EXPECT_EQ(a.dist_to_center, b.dist_to_center);
+  EXPECT_EQ(a.parent, b.parent);
+}
+
+TEST(Partition, InvalidBetaThrows) {
+  util::Rng rng(10);
+  const graph::Graph g = graph::path(4);
+  EXPECT_THROW(partition(g, 0.0, rng), std::invalid_argument);
+  EXPECT_THROW(partition(g, -1.0, rng), std::invalid_argument);
+}
+
+TEST(PartitionMasked, RespectsMask) {
+  util::Rng rng(11);
+  const graph::Graph g = graph::path(10);
+  std::vector<std::uint8_t> mask(10, 1);
+  mask[4] = 0;  // cut the path in the middle
+  const Partition p = partition_masked(g, 0.2, mask, rng);
+  EXPECT_FALSE(p.in_scope(4));
+  // Clusters cannot span the masked node.
+  for (graph::NodeId v = 0; v < 4; ++v) {
+    EXPECT_LE(p.center[v], 3u);
+  }
+  for (graph::NodeId v = 5; v < 10; ++v) {
+    EXPECT_GE(p.center[v], 5u);
+  }
+}
+
+TEST(PartitionMasked, SizeMismatchThrows) {
+  util::Rng rng(12);
+  const graph::Graph g = graph::path(5);
+  std::vector<std::uint8_t> mask(4, 1);
+  EXPECT_THROW(partition_masked(g, 0.2, mask, rng), std::invalid_argument);
+}
+
+TEST(PartitionRegions, FineClustersNeverCrossRegions) {
+  // Algorithm 1 step 3: fine clusterings within coarse clusters.
+  util::Rng rng(13);
+  const graph::Graph g = graph::grid(25, 25);
+  const Partition coarse = partition(g, 0.05, rng);
+  const Partition fine = partition_regions(g, 0.5, coarse.center, rng);
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    ASSERT_TRUE(fine.in_scope(v));
+    // v's fine centre lies in v's coarse cluster.
+    EXPECT_EQ(coarse.center[fine.center[v]], coarse.center[v]);
+  }
+  EXPECT_TRUE(centers_consistent(fine));
+  EXPECT_TRUE(distances_consistent(g, fine));
+}
+
+TEST(PartitionRegions, SizeMismatchThrows) {
+  util::Rng rng(14);
+  const graph::Graph g = graph::path(5);
+  std::vector<graph::NodeId> region(4, 0);
+  EXPECT_THROW(partition_regions(g, 0.2, region, rng),
+               std::invalid_argument);
+}
+
+TEST(Partition, DenseIdsAreDenseAndConsistent) {
+  util::Rng rng(15);
+  const graph::Graph g = graph::grid(12, 12);
+  const Partition p = partition(g, 0.2, rng);
+  const auto d = p.dense_ids();
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    const auto id = d.id_of_node[v];
+    ASSERT_LT(id, d.center_of_id.size());
+    EXPECT_EQ(d.center_of_id[id], p.center[v]);
+  }
+  // Every dense id used at least once (its centre maps to it).
+  for (std::size_t i = 0; i < d.center_of_id.size(); ++i) {
+    EXPECT_EQ(d.id_of_node[d.center_of_id[i]], i);
+  }
+}
+
+TEST(Partition, PrecomputeRoundsFormula) {
+  // O(log^3 n / beta): doubling 1/beta doubles the cost.
+  const auto r1 = precompute_rounds(1024, 0.1);
+  const auto r2 = precompute_rounds(1024, 0.05);
+  EXPECT_NEAR(static_cast<double>(r2) / r1, 2.0, 0.01);
+  EXPECT_EQ(precompute_rounds(1024, 1.0), 1000u);  // log2^3(1024) = 1000
+}
+
+TEST(Theorem22Smoke, ExpectedDistanceWithinBoundForMostJ) {
+  // Scaled-down Theorem 2.2 check: for a majority of j in the range, the
+  // mean distance to centre is within a constant of log n/(beta log D).
+  util::Rng rng(16);
+  const graph::Graph g = graph::path_of_cliques(64, 8);  // D ~ 190
+  const auto d = graph::diameter_double_sweep(g);
+  const double logn = util::safe_log2(g.node_count());
+  const double logd = util::safe_log2(d);
+  const std::uint32_t j_lo = 1;
+  const std::uint32_t j_hi = std::max<std::uint32_t>(
+      j_lo, static_cast<std::uint32_t>(0.4 * logd));
+  std::uint32_t good = 0, total = 0;
+  for (std::uint32_t j = j_lo; j <= j_hi; ++j) {
+    const double beta = std::ldexp(1.0, -static_cast<int>(j));
+    double mean = 0;
+    constexpr int kTrials = 8;
+    for (int t = 0; t < kTrials; ++t) {
+      mean += mean_dist_to_center(partition(g, beta, rng));
+    }
+    mean /= kTrials;
+    ++total;
+    if (mean <= 8.0 * logn / (beta * logd)) ++good;
+  }
+  // Theorem 2.2 promises probability >= 0.55 over j; with constant 8 the
+  // scaled-down version should pass for at least half the j values.
+  EXPECT_GE(2 * good, total);
+}
+
+}  // namespace
+}  // namespace radiocast::cluster

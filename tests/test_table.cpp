@@ -1,0 +1,83 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace radiocast::util {
+namespace {
+
+TEST(Table, AlignedRendering) {
+  Table t({"name", "value"});
+  t.row().add("a").add(std::uint64_t{1});
+  t.row().add("long-name").add(std::uint64_t{22});
+  const std::string s = t.to_string();
+  // Header separator present and every row starts with '|'.
+  std::istringstream is(s);
+  std::string line;
+  int lines = 0;
+  while (std::getline(is, line)) {
+    EXPECT_EQ(line.front(), '|');
+    EXPECT_EQ(line.back(), '|');
+    ++lines;
+  }
+  EXPECT_EQ(lines, 4);  // header + separator + 2 rows
+}
+
+TEST(Table, CsvBasic) {
+  Table t({"a", "b"});
+  t.row().add("x").add(3.14159, 2);
+  EXPECT_EQ(t.to_csv(), "a,b\nx,3.14\n");
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"field"});
+  t.row().add("has,comma");
+  t.row().add("has\"quote");
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, NumericFormatting) {
+  Table t({"v"});
+  t.row().add(1.23456, 3);
+  EXPECT_EQ(t.cells()[0][0], "1.235");
+  t.row().add(std::int64_t{-5});
+  EXPECT_EQ(t.cells()[1][0], "-5");
+  t.row().add(7);
+  EXPECT_EQ(t.cells()[2][0], "7");
+}
+
+TEST(Table, AddWithoutRowStartsOne) {
+  Table t({"x"});
+  t.add("implicit");
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, WriteCsvRoundTrip) {
+  Table t({"k", "v"});
+  t.row().add("a").add(std::uint64_t{1});
+  const std::string path = "/tmp/radiocast_table_test.csv";
+  ASSERT_TRUE(t.write_csv(path));
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_EQ(buf.str(), t.to_csv());
+  std::remove(path.c_str());
+}
+
+TEST(Table, WriteCsvBadPathFails) {
+  Table t({"x"});
+  EXPECT_FALSE(t.write_csv("/nonexistent-dir-xyz/file.csv"));
+}
+
+TEST(FormatDouble, FixedPrecision) {
+  EXPECT_EQ(format_double(1.0, 3), "1.000");
+  EXPECT_EQ(format_double(0.12349, 4), "0.1235");
+}
+
+}  // namespace
+}  // namespace radiocast::util

@@ -1,0 +1,115 @@
+// Sanity of the closed-form reference curves (monotonicity, asymptotic
+// ordering — who is supposed to win where).
+#include "core/theory.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace radiocast::core::theory {
+namespace {
+
+TEST(Theory, CdBeatsBgiForLargeD) {
+  // D polynomial in n: CD is O(D), BGI is O(D log n).
+  const std::uint64_t n = 1ull << 24;
+  const std::uint64_t d = 1ull << 20;
+  EXPECT_LT(bound_cd(n, d), bound_bgi(n, d));
+}
+
+TEST(Theory, CdBeatsHwEverywhereLargeD) {
+  const std::uint64_t n = 1ull << 24;
+  for (std::uint64_t d : {1ull << 12, 1ull << 16, 1ull << 20}) {
+    EXPECT_LT(bound_cd(n, d), bound_hw(n, d)) << d;
+  }
+}
+
+TEST(Theory, HwBeatsCrkpForLargeD) {
+  // The paper: HW was the first to beat the no-spontaneous lower bound.
+  // The win needs D very close to polynomial in n (log n log log n / log D
+  // < log(n/D)), so pick n = 2^40, D = 2^30.
+  const std::uint64_t n = 1ull << 40;
+  const std::uint64_t d = 1ull << 30;
+  EXPECT_LT(bound_hw(n, d), bound_crkp(n, d));
+}
+
+TEST(Theory, CrkpBelowBgi) {
+  for (std::uint64_t d : {1ull << 8, 1ull << 12, 1ull << 16}) {
+    EXPECT_LE(bound_crkp(1ull << 20, d), bound_bgi(1ull << 20, d) * 1.01);
+  }
+}
+
+TEST(Theory, CdIsLinearInDWhenNPolyD) {
+  // n = D^2: bound_cd / D -> 2 + o(1).
+  const std::uint64_t d = 1ull << 16;
+  const std::uint64_t n = d * d;
+  const double per_hop = (bound_cd(n, d) - 0) / static_cast<double>(d);
+  EXPECT_LT(per_hop, 3.0);
+  EXPECT_GT(per_hop, 1.5);
+}
+
+TEST(Theory, CompeteSourceTermScales) {
+  const std::uint64_t n = 1 << 20, d = 1 << 12;
+  const double base = bound_compete(n, d, 0);
+  const double with_k = bound_compete(n, d, 1000);
+  EXPECT_NEAR(with_k - base, 1000 * std::pow(double(d), 0.125), 1.0);
+}
+
+TEST(Theory, LowerBoundsBelowUpperBounds) {
+  for (std::uint64_t d : {1ull << 8, 1ull << 14, 1ull << 20}) {
+    const std::uint64_t n = d * 4;
+    EXPECT_LE(lower_bound_spontaneous(n, d), bound_cd(n, d) * 1.01);
+    EXPECT_LE(lower_bound_no_spontaneous(n, d), bound_bgi(n, d) * 1.5);
+  }
+}
+
+TEST(Theory, LeaderElectionOrdering) {
+  // CD LE == CD broadcast < GH LE < binary-search LE (large D regime).
+  const std::uint64_t n = 1ull << 26;
+  const std::uint64_t d = 1ull << 20;
+  EXPECT_LT(bound_cd(n, d), bound_gh_le(n, d));
+  EXPECT_LT(bound_gh_le(n, d), bound_binary_search_le(n, d));
+}
+
+TEST(Theory, ClusterDistanceBoundShrinksWithBeta) {
+  const std::uint64_t n = 1 << 20, d = 1 << 12;
+  EXPECT_GT(bound_cluster_distance(n, d, 0.1),
+            bound_cluster_distance(n, d, 0.5));
+}
+
+TEST(Theory, StrongDiameterBound) {
+  EXPECT_NEAR(bound_strong_diameter(1 << 20, 0.5), 40.0, 1e-9);
+}
+
+TEST(Theory, SubpathBounds) {
+  const std::uint64_t d = 1ull << 20;
+  EXPECT_NEAR(bound_bad_subpaths(d), std::pow(double(d), 0.63), 1.0);
+  EXPECT_NEAR(bound_subpath_badness(d), std::pow(double(d), -0.26), 1e-9);
+  EXPECT_LT(bound_subpath_badness(d), 1.0);
+}
+
+TEST(Theory, MonotoneInD) {
+  const std::uint64_t n = 1ull << 22;
+  double prev = 0;
+  for (std::uint64_t d = 1 << 8; d <= (1ull << 20); d <<= 2) {
+    const double b = bound_cd(n, d);
+    EXPECT_GT(b, prev);
+    prev = b;
+  }
+}
+
+TEST(Theory, TinyInputsDoNotBlowUp) {
+  // Clamped logs: no NaN/inf/zero-division on degenerate inputs.
+  for (std::uint64_t n : {1ull, 2ull, 3ull}) {
+    for (std::uint64_t d : {1ull, 2ull}) {
+      EXPECT_TRUE(std::isfinite(bound_cd(n, d)));
+      EXPECT_TRUE(std::isfinite(bound_hw(n, d)));
+      EXPECT_TRUE(std::isfinite(bound_bgi(n, d)));
+      EXPECT_TRUE(std::isfinite(bound_crkp(n, d)));
+      EXPECT_TRUE(std::isfinite(bound_gh_le(n, d)));
+      EXPECT_GT(bound_cd(n, d), 0.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace radiocast::core::theory
