@@ -5,19 +5,24 @@
 //   (c) the Compete background process (Algorithm 2) on/off,
 //   (d) the ICP background process (Algorithm 4) on/off,
 //   (e) pipelined vs physically-colored schedules.
-#include "common.hpp"
+#include <cmath>
+#include <vector>
+
 #include "core/broadcast.hpp"
+#include "sim/instances.hpp"
+#include "sim/runner.hpp"
+#include "sim/scenario.hpp"
 
 using namespace radiocast;
 
-int main(int argc, char** argv) {
-  util::Cli cli(argc, argv);
-  const bool quick = cli.get_bool("quick", false);
-  const std::uint64_t seed = cli.get_uint("seed", 9);
-  const int reps = static_cast<int>(cli.get_uint("reps", quick ? 1 : 3));
+RADIOCAST_SCENARIO(ablation, "ablation",
+                   "E9: ablations of the Section 2.3 design choices") {
+  const bool quick = ctx.quick();
+  const std::uint64_t seed = ctx.seed(9);
+  const int reps = ctx.reps(1, 3);
 
-  const bench::Instance inst =
-      bench::make_instance(quick ? 1024 : 4096, quick ? 128 : 384);
+  const sim::Instance inst =
+      sim::make_cliquepath_instance(quick ? 1024 : 4096, quick ? 128 : 384);
 
   struct Config {
     const char* name;
@@ -53,15 +58,19 @@ int main(int argc, char** argv) {
 
   util::Table t({"config", "success rate", "rounds (mean)", "vs default"});
   double baseline = 0.0;
+  // Paired design: every config runs on the SAME replication seeds, so the
+  // "vs default" ratio isolates the config effect from seed noise.
   for (const auto& cfg : configs) {
-    util::OnlineStats rounds, ok;
-    for (int r = 0; r < reps; ++r) {
-      const auto res = core::broadcast(inst.g, inst.diameter, 0, 7,
-                                       cfg.params,
-                                       util::mix_seed(seed, r * 13 + 1));
-      ok.add(res.success ? 1.0 : 0.0);
-      if (res.success) rounds.add(static_cast<double>(res.rounds));
-    }
+    const auto stats = ctx.runner.replicate(
+        reps, seed, 2, [&](int, std::uint64_t s) {
+          const auto res =
+              core::broadcast(inst.g, inst.diameter, 0, 7, cfg.params, s);
+          return std::vector<double>{
+              res.success ? 1.0 : 0.0,
+              res.success ? static_cast<double>(res.rounds) : std::nan("")};
+        });
+    const auto& ok = stats[0];
+    const auto& rounds = stats[1];
     if (baseline == 0.0) baseline = rounds.mean();
     t.row()
         .add(cfg.name)
@@ -69,6 +78,5 @@ int main(int argc, char** argv) {
         .add(rounds.mean(), 0)
         .add(baseline > 0 ? rounds.mean() / baseline : 0.0, 2);
   }
-  bench::emit(t, "E9: ablations on " + inst.name, "e9_ablation");
-  return 0;
+  ctx.emit(t, "E9: ablations on " + inst.name, "e9_ablation");
 }

@@ -5,26 +5,30 @@
 // while BGI pays log n per hop and CR/KP pays log(n/D) per hop. We sweep D
 // at fixed n on the path-of-cliques family (the D-polynomial-in-n regime)
 // and report measured rounds, per-hop rates, and the analytic curves.
+#include <cmath>
+#include <vector>
+
 #include "baselines/decay_broadcast.hpp"
 #include "baselines/hw_broadcast.hpp"
-#include <cmath>
-
-#include "common.hpp"
 #include "core/broadcast.hpp"
 #include "core/theory.hpp"
+#include "sim/instances.hpp"
+#include "sim/runner.hpp"
+#include "sim/scenario.hpp"
 #include "util/math.hpp"
 
 using namespace radiocast;
 
-int main(int argc, char** argv) {
-  util::Cli cli(argc, argv);
-  const bool quick = cli.get_bool("quick", false);
-  const std::uint64_t seed = cli.get_uint("seed", 1);
-  const graph::NodeId n = static_cast<graph::NodeId>(
-      cli.get_uint("n", quick ? 1024 : 4096));
-  const int reps = static_cast<int>(cli.get_uint("reps", quick ? 1 : 3));
+RADIOCAST_SCENARIO(broadcast_vs_d, "broadcast-vs-d",
+                   "E1: broadcast rounds vs diameter at fixed n (Theorem 5.1"
+                   " shape)") {
+  const bool quick = ctx.quick();
+  const std::uint64_t seed = ctx.seed(1);
+  const auto n = static_cast<graph::NodeId>(
+      ctx.cli.get_uint("n", quick ? 1024 : 4096));
+  const int reps = ctx.reps(1, 3);
 
-  std::vector<graph::NodeId> d_targets =
+  const std::vector<graph::NodeId> d_targets =
       quick ? std::vector<graph::NodeId>{24, 96, 384}
             : std::vector<graph::NodeId>{16, 32, 64, 128, 256, 512};
 
@@ -34,24 +38,31 @@ int main(int argc, char** argv) {
   std::vector<double> ds, cd_rates;
   for (const auto d_target : d_targets) {
     if (d_target >= n / 2) continue;
-    const bench::Instance inst = bench::make_instance(n, d_target);
-    util::OnlineStats cd, hw, bgi, cr;
-    for (int r = 0; r < reps; ++r) {
-      const std::uint64_t s = util::mix_seed(seed, r * 1000 + d_target);
-      const auto rc = core::broadcast(inst.g, inst.diameter, 0, 7,
-                                      core::CompeteParams{}, s);
-      if (rc.success) cd.add(static_cast<double>(rc.rounds));
-      const auto rh = baselines::hw_broadcast(inst.g, inst.diameter, 0, 7, s);
-      if (rh.success) hw.add(static_cast<double>(rh.rounds));
-      const auto rb = baselines::decay_broadcast(
-          inst.g, inst.diameter, {{0, 7}},
-          baselines::bgi_params(inst.g.node_count()), s);
-      if (rb.success) bgi.add(static_cast<double>(rb.rounds));
-      const auto rr = baselines::decay_broadcast(
-          inst.g, inst.diameter, {{0, 7}},
-          baselines::cr_params(inst.g.node_count(), inst.diameter), s);
-      if (rr.success) cr.add(static_cast<double>(rr.rounds));
-    }
+    const sim::Instance inst = sim::make_cliquepath_instance(n, d_target);
+    const auto stats = ctx.runner.replicate(
+        reps, util::mix_seed(seed, d_target), 4,
+        [&](int, std::uint64_t s) {
+          std::vector<double> m(4, std::nan(""));
+          const auto rc = core::broadcast(inst.g, inst.diameter, 0, 7,
+                                          core::CompeteParams{}, s);
+          if (rc.success) m[0] = static_cast<double>(rc.rounds);
+          const auto rh =
+              baselines::hw_broadcast(inst.g, inst.diameter, 0, 7, s);
+          if (rh.success) m[1] = static_cast<double>(rh.rounds);
+          const auto rb = baselines::decay_broadcast(
+              inst.g, inst.diameter, {{0, 7}},
+              baselines::bgi_params(inst.g.node_count()), s);
+          if (rb.success) m[2] = static_cast<double>(rb.rounds);
+          const auto rr = baselines::decay_broadcast(
+              inst.g, inst.diameter, {{0, 7}},
+              baselines::cr_params(inst.g.node_count(), inst.diameter), s);
+          if (rr.success) m[3] = static_cast<double>(rr.rounds);
+          return m;
+        });
+    const auto& cd = stats[0];
+    const auto& hw = stats[1];
+    const auto& bgi = stats[2];
+    const auto& cr = stats[3];
     const double d = inst.diameter;
     t.row()
         .add(std::uint64_t{inst.diameter})
@@ -70,16 +81,15 @@ int main(int argc, char** argv) {
     ds.push_back(d);
     cd_rates.push_back(cd.mean() / d);
   }
-  bench::emit(t, "E1: broadcast rounds vs D (fixed n) — Theorem 5.1 shape",
-              "e1_broadcast_vs_d");
+  ctx.emit(t, "E1: broadcast rounds vs D (fixed n) — Theorem 5.1 shape",
+           "e1_broadcast_vs_d");
 
   // Shape check: CD's per-hop rate must FALL as D grows (the log n/log D
   // signature); report the fitted trend.
   if (ds.size() >= 2) {
     const auto fit = util::fit_power(ds, cd_rates);
-    std::cout << "CD per-hop rate ~ D^" << util::format_double(fit.exponent, 3)
-              << " (negative exponent = paper's log n/log D shape; r2="
-              << util::format_double(fit.r2, 2) << ")\n";
+    ctx.note("CD per-hop rate ~ D^" + util::format_double(fit.exponent, 3) +
+             " (negative exponent = paper's log n/log D shape; r2=" +
+             util::format_double(fit.r2, 2) + ")");
   }
-  return 0;
 }

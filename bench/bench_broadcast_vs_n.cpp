@@ -3,59 +3,65 @@
 // At fixed D, CD grows like D log n / log D + polylog n (slowly, through
 // the log n factor), BGI like (D + log n) log n, CR like D log(n/D): the
 // gap between the curves must widen with n.
+#include <cmath>
+#include <vector>
+
 #include "baselines/decay_broadcast.hpp"
 #include "baselines/hw_broadcast.hpp"
-#include "common.hpp"
 #include "core/broadcast.hpp"
 #include "core/theory.hpp"
+#include "sim/instances.hpp"
+#include "sim/runner.hpp"
+#include "sim/scenario.hpp"
 #include "util/math.hpp"
 
 using namespace radiocast;
 
-int main(int argc, char** argv) {
-  util::Cli cli(argc, argv);
-  const bool quick = cli.get_bool("quick", false);
-  const std::uint64_t seed = cli.get_uint("seed", 2);
-  const graph::NodeId d_target = static_cast<graph::NodeId>(
-      cli.get_uint("d", 96));
-  const int reps = static_cast<int>(cli.get_uint("reps", quick ? 1 : 3));
+RADIOCAST_SCENARIO(broadcast_vs_n, "broadcast-vs-n",
+                   "E2: broadcast rounds vs n at fixed diameter") {
+  const bool quick = ctx.quick();
+  const std::uint64_t seed = ctx.seed(2);
+  const auto d_target =
+      static_cast<graph::NodeId>(ctx.cli.get_uint("d", 96));
+  const int reps = ctx.reps(1, 3);
 
-  std::vector<graph::NodeId> ns =
+  const std::vector<graph::NodeId> ns =
       quick ? std::vector<graph::NodeId>{512, 2048}
             : std::vector<graph::NodeId>{512, 1024, 2048, 4096, 8192};
 
   util::Table t({"n", "D", "CD rounds", "HW rounds", "BGI rounds",
                  "CR rounds", "CD bound", "BGI bound", "CR bound"});
   for (const auto n : ns) {
-    const bench::Instance inst = bench::make_instance(n, d_target);
-    util::OnlineStats cd, hw, bgi, cr;
-    for (int r = 0; r < reps; ++r) {
-      const std::uint64_t s = util::mix_seed(seed, r * 100000 + n);
-      const auto rc = core::broadcast(inst.g, inst.diameter, 0, 7,
-                                      core::CompeteParams{}, s);
-      if (rc.success) cd.add(static_cast<double>(rc.rounds));
-      const auto rh = baselines::hw_broadcast(inst.g, inst.diameter, 0, 7, s);
-      if (rh.success) hw.add(static_cast<double>(rh.rounds));
-      const auto rb = baselines::decay_broadcast(
-          inst.g, inst.diameter, {{0, 7}},
-          baselines::bgi_params(inst.g.node_count()), s);
-      if (rb.success) bgi.add(static_cast<double>(rb.rounds));
-      const auto rr = baselines::decay_broadcast(
-          inst.g, inst.diameter, {{0, 7}},
-          baselines::cr_params(inst.g.node_count(), inst.diameter), s);
-      if (rr.success) cr.add(static_cast<double>(rr.rounds));
-    }
+    const sim::Instance inst = sim::make_cliquepath_instance(n, d_target);
+    const auto stats = ctx.runner.replicate(
+        reps, util::mix_seed(seed, n), 4, [&](int, std::uint64_t s) {
+          std::vector<double> m(4, std::nan(""));
+          const auto rc = core::broadcast(inst.g, inst.diameter, 0, 7,
+                                          core::CompeteParams{}, s);
+          if (rc.success) m[0] = static_cast<double>(rc.rounds);
+          const auto rh =
+              baselines::hw_broadcast(inst.g, inst.diameter, 0, 7, s);
+          if (rh.success) m[1] = static_cast<double>(rh.rounds);
+          const auto rb = baselines::decay_broadcast(
+              inst.g, inst.diameter, {{0, 7}},
+              baselines::bgi_params(inst.g.node_count()), s);
+          if (rb.success) m[2] = static_cast<double>(rb.rounds);
+          const auto rr = baselines::decay_broadcast(
+              inst.g, inst.diameter, {{0, 7}},
+              baselines::cr_params(inst.g.node_count(), inst.diameter), s);
+          if (rr.success) m[3] = static_cast<double>(rr.rounds);
+          return m;
+        });
     t.row()
         .add(std::uint64_t{n})
         .add(std::uint64_t{inst.diameter})
-        .add(cd.mean(), 0)
-        .add(hw.mean(), 0)
-        .add(bgi.mean(), 0)
-        .add(cr.mean(), 0)
+        .add(stats[0].mean(), 0)
+        .add(stats[1].mean(), 0)
+        .add(stats[2].mean(), 0)
+        .add(stats[3].mean(), 0)
         .add(core::theory::bound_cd(n, inst.diameter), 0)
         .add(core::theory::bound_bgi(n, inst.diameter), 0)
         .add(core::theory::bound_crkp(n, inst.diameter), 0);
   }
-  bench::emit(t, "E2: broadcast rounds vs n (fixed D)", "e2_broadcast_vs_n");
-  return 0;
+  ctx.emit(t, "E2: broadcast rounds vs n (fixed D)", "e2_broadcast_vs_n");
 }

@@ -9,28 +9,31 @@
 // report the improvement over the Haeupler-Wajc bound (which carries an
 // extra log log n).
 #include <cmath>
+#include <vector>
 
 #include "cluster/exponential_shifts.hpp"
 #include "cluster/partition_stats.hpp"
-#include "common.hpp"
 #include "core/theory.hpp"
+#include "sim/instances.hpp"
+#include "sim/runner.hpp"
+#include "sim/scenario.hpp"
 #include "util/math.hpp"
 
 using namespace radiocast;
 
-int main(int argc, char** argv) {
-  util::Cli cli(argc, argv);
-  const bool quick = cli.get_bool("quick", false);
-  const std::uint64_t seed = cli.get_uint("seed", 4);
-  const int reps = static_cast<int>(cli.get_uint("reps", quick ? 2 : 6));
+RADIOCAST_SCENARIO(cluster_distance, "cluster-distance",
+                   "E4: Theorem 2.2 distance-to-centre vs beta") {
+  const bool quick = ctx.quick();
+  const std::uint64_t seed = ctx.seed(4);
+  const int reps = ctx.reps(2, 6);
   util::Rng rng(seed);
 
-  std::vector<bench::Instance> instances;
-  instances.push_back(bench::make_instance(quick ? 2048 : 8192,
-                                           quick ? 256 : 768));
+  std::vector<sim::Instance> instances;
+  instances.push_back(sim::make_cliquepath_instance(quick ? 2048 : 8192,
+                                                    quick ? 256 : 768));
   if (!quick) {
-    instances.push_back(bench::make_grid_instance(64, 128));
-    instances.push_back(bench::make_rgg_instance(4096, 0.025, rng));
+    instances.push_back(sim::make_grid_instance(64, 128));
+    instances.push_back(sim::make_rgg_instance(4096, 0.025, rng));
   }
 
   for (const auto& inst : instances) {
@@ -43,11 +46,14 @@ int main(int argc, char** argv) {
     std::uint32_t good = 0;
     for (std::uint32_t j = 1; j <= j_max; ++j) {
       const double beta = std::ldexp(1.0, -static_cast<int>(j));
-      util::OnlineStats dist;
-      for (int r = 0; r < reps; ++r) {
-        const auto p = cluster::partition(inst.g, beta, rng);
-        dist.add(cluster::mean_dist_to_center(p));
-      }
+      const auto stats = ctx.runner.replicate(
+          reps, util::mix_seed(seed, inst.diameter * 1000 + j), 1,
+          [&](int, std::uint64_t s) {
+            util::Rng rep_rng(s);
+            const auto p = cluster::partition(inst.g, beta, rep_rng);
+            return std::vector<double>{cluster::mean_dist_to_center(p)};
+          });
+      const auto& dist = stats[0];
       const double bound = core::theory::bound_cluster_distance(
           inst.g.node_count(), inst.diameter, beta);
       const double ratio = dist.mean() / bound;
@@ -62,11 +68,10 @@ int main(int argc, char** argv) {
           .add(bound * std::max(1.0, std::log2(logn)), 2)
           .add(ok ? "yes" : "NO");
     }
-    bench::emit(t, "E4: Theorem 2.2 distance-to-centre on " + inst.name,
-                "e4_cluster_distance_" + std::to_string(inst.diameter));
-    std::cout << "fraction of j within 4x bound: " << good << "/" << j_max
-              << "  (Theorem 2.2 promises >= 0.55 of the [0.01,0.1]logD "
-                 "window)\n";
+    ctx.emit(t, "E4: Theorem 2.2 distance-to-centre on " + inst.name,
+             "e4_cluster_distance_" + std::to_string(inst.diameter));
+    ctx.note("fraction of j within 4x bound: " + std::to_string(good) + "/" +
+             std::to_string(j_max) +
+             "  (Theorem 2.2 promises >= 0.55 of the [0.01,0.1]logD window)");
   }
-  return 0;
 }

@@ -5,14 +5,19 @@
 // CD algorithm CD-broadcast emulation: beep-wave layering + layered Decay
 // (uses collisions as 1-bit energy), and print the GHK O(D + log^6 n)
 // analytic curve. The beep wave itself (exact BFS layering in D+1 rounds)
-// is impossible without collision detection — bench also demonstrates that
-// by running it under the no-CD medium and reporting the stall rate.
+// is impossible without collision detection — the scenario also
+// demonstrates that by running it under the no-CD medium and reporting the
+// stall rate.
+#include <cmath>
 #include <memory>
+#include <vector>
 
 #include "baselines/protocols.hpp"
-#include "common.hpp"
 #include "core/theory.hpp"
 #include "radio/engine.hpp"
+#include "sim/instances.hpp"
+#include "sim/runner.hpp"
+#include "sim/scenario.hpp"
 #include "util/math.hpp"
 
 using namespace radiocast;
@@ -39,63 +44,66 @@ radio::EngineResult run_broadcast(const graph::Graph& g, std::uint32_t d,
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  util::Cli cli(argc, argv);
-  const bool quick = cli.get_bool("quick", false);
-  const std::uint64_t seed = cli.get_uint("seed", 12);
-  const int reps = static_cast<int>(cli.get_uint("reps", quick ? 1 : 3));
+RADIOCAST_SCENARIO(collision_detection, "collision-detection",
+                   "E12: collision-detection model contrast (GHK)") {
+  const bool quick = ctx.quick();
+  const std::uint64_t seed = ctx.seed(12);
+  const int reps = ctx.reps(1, 3);
   util::Rng rng(seed);
 
-  std::vector<bench::Instance> instances;
-  instances.push_back(bench::make_grid_instance(quick ? 15 : 30,
-                                                quick ? 30 : 60));
+  std::vector<sim::Instance> instances;
+  instances.push_back(sim::make_grid_instance(quick ? 15 : 30,
+                                              quick ? 30 : 60));
   instances.push_back(
-      bench::make_rgg_instance(quick ? 400 : 1200, quick ? 0.08 : 0.045, rng));
+      sim::make_rgg_instance(quick ? 400 : 1200, quick ? 0.08 : 0.045, rng));
 
   util::Table t({"graph", "BGI (no CD)", "layered CD", "CD/BGI",
                  "GHK bound D+log^6 n", "beep-wave stalls w/o CD"});
-  for (const auto& inst : instances) {
-    util::OnlineStats bgi, cd, stall;
-    for (int r = 0; r < reps; ++r) {
-      const std::uint64_t s = util::mix_seed(seed, r);
-      const auto rb = run_broadcast<DecayBroadcast>(
-          inst.g, inst.diameter, radio::CollisionModel::kNoDetection, s);
-      if (rb.all_done) bgi.add(static_cast<double>(rb.rounds));
-      const auto rc = run_broadcast<LayeredCdBroadcast>(
-          inst.g, inst.diameter, radio::CollisionModel::kDetection, s);
-      if (rc.all_done) cd.add(static_cast<double>(rc.rounds));
-      // Beep wave under the no-CD medium: count nodes that never layer.
-      radio::Engine eng(inst.g, inst.diameter,
-                        radio::CollisionModel::kNoDetection);
-      util::Rng seeds(s);
-      eng.install(
-          [](graph::NodeId v) -> std::unique_ptr<radio::Protocol> {
-            return std::make_unique<BeepWave>(v == 0);
-          },
-          seeds);
-      eng.run(static_cast<radio::Round>(inst.diameter) + 2);
-      std::uint32_t stalled = 0;
-      for (graph::NodeId v = 0; v < inst.g.node_count(); ++v) {
-        const auto& p = static_cast<const BeepWave&>(eng.protocol(v));
-        stalled += p.layer() == BeepWave::kNoLayer;
-      }
-      stall.add(static_cast<double>(stalled) / inst.g.node_count());
-    }
+  for (std::size_t ii = 0; ii < instances.size(); ++ii) {
+    const auto& inst = instances[ii];
+    const auto stats = ctx.runner.replicate(
+        reps, util::mix_seed(seed, ii), 3, [&](int, std::uint64_t s) {
+          std::vector<double> m(3, std::nan(""));
+          const auto rb = run_broadcast<DecayBroadcast>(
+              inst.g, inst.diameter, radio::CollisionModel::kNoDetection, s);
+          if (rb.all_done) m[0] = static_cast<double>(rb.rounds);
+          const auto rc = run_broadcast<LayeredCdBroadcast>(
+              inst.g, inst.diameter, radio::CollisionModel::kDetection, s);
+          if (rc.all_done) m[1] = static_cast<double>(rc.rounds);
+          // Beep wave under the no-CD medium: count nodes that never layer.
+          radio::Engine eng(inst.g, inst.diameter,
+                            radio::CollisionModel::kNoDetection);
+          util::Rng seeds(s);
+          eng.install(
+              [](graph::NodeId v) -> std::unique_ptr<radio::Protocol> {
+                return std::make_unique<BeepWave>(v == 0);
+              },
+              seeds);
+          eng.run(static_cast<radio::Round>(inst.diameter) + 2);
+          std::uint32_t stalled = 0;
+          for (graph::NodeId v = 0; v < inst.g.node_count(); ++v) {
+            const auto& p = static_cast<const BeepWave&>(eng.protocol(v));
+            stalled += p.layer() == BeepWave::kNoLayer;
+          }
+          m[2] = static_cast<double>(stalled) / inst.g.node_count();
+          return m;
+        });
     const double logn = util::safe_log2(inst.g.node_count());
     t.row()
         .add(inst.name)
-        .add(bgi.mean(), 0)
-        .add(cd.mean(), 0)
-        .add(bgi.mean() > 0 ? cd.mean() / bgi.mean() : 0.0, 2)
+        .add(stats[0].mean(), 0)
+        .add(stats[1].mean(), 0)
+        .add(stats[0].mean() > 0 ? stats[1].mean() / stats[0].mean() : 0.0,
+             2)
         .add(static_cast<double>(inst.diameter) +
                  logn * logn * logn * logn * logn * logn / 1e4,
              0)
-        .add(stall.mean(), 3);
+        .add(stats[2].mean(), 3);
   }
-  bench::emit(t, "E12: collision detection model contrast", "e12_cd");
-  std::cout << "(GHK's O(D + log^6 n) algorithm [11] is out of scope; the "
-               "layered-CD protocol here demonstrates the model's power — "
-               "exact BFS layering in D+1 rounds — which the stall column "
-               "shows is impossible without CD.)\n";
-  return 0;
+  ctx.emit(t, "E12: collision detection model contrast", "e12_cd");
+  ctx.note(
+      "(GHK's O(D + log^6 n) algorithm [11] is out of scope; the "
+      "layered-CD protocol here demonstrates the model's power — "
+      "exact BFS layering in D+1 rounds — which the stall column "
+      "shows is impossible without CD.)");
 }

@@ -2,43 +2,49 @@
 // polylog n). Sweep |S| at fixed (n, D) and check the additive growth in
 // |S| stays near-linear with a small per-source coefficient (compared
 // against the D^0.125 curve).
-#include "common.hpp"
+#include <cmath>
+#include <vector>
+
 #include "core/compete.hpp"
 #include "core/theory.hpp"
+#include "sim/instances.hpp"
+#include "sim/runner.hpp"
+#include "sim/scenario.hpp"
 #include "util/math.hpp"
 
 using namespace radiocast;
 
-int main(int argc, char** argv) {
-  util::Cli cli(argc, argv);
-  const bool quick = cli.get_bool("quick", false);
-  const std::uint64_t seed = cli.get_uint("seed", 7);
-  const int reps = static_cast<int>(cli.get_uint("reps", quick ? 1 : 3));
+RADIOCAST_SCENARIO(compete_sources, "compete-sources",
+                   "E7: Compete rounds vs source-set size (Theorem 4.1)") {
+  const bool quick = ctx.quick();
+  const std::uint64_t seed = ctx.seed(7);
+  const int reps = ctx.reps(1, 3);
 
-  const bench::Instance inst =
-      bench::make_instance(quick ? 1024 : 2048, quick ? 96 : 128);
-  util::Rng rng(seed);
+  const sim::Instance inst =
+      sim::make_cliquepath_instance(quick ? 1024 : 2048, quick ? 96 : 128);
 
-  std::vector<std::uint32_t> sizes =
+  const std::vector<std::uint32_t> sizes =
       quick ? std::vector<std::uint32_t>{1, 16, 128}
             : std::vector<std::uint32_t>{1, 4, 16, 64, 256};
 
   util::Table t({"|S|", "rounds", "theory bound", "rounds/bound"});
   std::vector<double> xs, ys;
   for (const auto k : sizes) {
-    util::OnlineStats rounds;
-    for (int r = 0; r < reps; ++r) {
-      std::vector<core::CompeteSource> sources;
-      const auto picks =
-          rng.sample_without_replacement(inst.g.node_count(), k);
-      for (std::uint32_t i = 0; i < k; ++i) {
-        sources.push_back({picks[i], 1000 + i});
-      }
-      const auto res = core::compete(inst.g, inst.diameter, sources,
-                                     core::CompeteParams{},
-                                     util::mix_seed(seed, r * 31 + k));
-      if (res.success) rounds.add(static_cast<double>(res.rounds));
-    }
+    const auto stats = ctx.runner.replicate(
+        reps, util::mix_seed(seed, k), 1, [&](int, std::uint64_t s) {
+          util::Rng rng(util::mix_seed(s, 1));
+          std::vector<core::CompeteSource> sources;
+          const auto picks =
+              rng.sample_without_replacement(inst.g.node_count(), k);
+          for (std::uint32_t i = 0; i < k; ++i) {
+            sources.push_back({picks[i], 1000 + i});
+          }
+          const auto res = core::compete(inst.g, inst.diameter, sources,
+                                         core::CompeteParams{}, s);
+          return std::vector<double>{
+              res.success ? static_cast<double>(res.rounds) : std::nan("")};
+        });
+    const auto& rounds = stats[0];
     const double bound = core::theory::bound_compete(
         inst.g.node_count(), inst.diameter, k);
     t.row()
@@ -49,16 +55,15 @@ int main(int argc, char** argv) {
     xs.push_back(k);
     ys.push_back(rounds.mean());
   }
-  bench::emit(t, "E7: Compete rounds vs |S| on " + inst.name,
-              "e7_compete_sources");
+  ctx.emit(t, "E7: Compete rounds vs |S| on " + inst.name,
+           "e7_compete_sources");
   if (xs.size() >= 3) {
     const auto fit = util::fit_linear(xs, ys);
-    std::cout << "per-source marginal cost ~ "
-              << util::format_double(fit.slope, 2) << " rounds (theory "
-              << "coefficient D^0.125 = "
-              << util::format_double(
-                     util::fpow(double(inst.diameter), 0.125), 2)
-              << ")\n";
+    ctx.note("per-source marginal cost ~ " +
+             util::format_double(fit.slope, 2) + " rounds (theory " +
+             "coefficient D^0.125 = " +
+             util::format_double(util::fpow(double(inst.diameter), 0.125),
+                                 2) +
+             ")");
   }
-  return 0;
 }

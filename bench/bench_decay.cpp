@@ -2,35 +2,43 @@
 // participating neighbour receives with constant probability, UNIFORMLY in
 // the number of participants (that is the whole point of the halving
 // densities). We sweep participant counts over four decades.
-#include "common.hpp"
+#include <algorithm>
+#include <vector>
+
 #include "radio/network.hpp"
 #include "schedule/decay.hpp"
+#include "sim/instances.hpp"
+#include "sim/runner.hpp"
+#include "sim/scenario.hpp"
+#include "util/math.hpp"
 
 using namespace radiocast;
 
-int main(int argc, char** argv) {
-  util::Cli cli(argc, argv);
-  const bool quick = cli.get_bool("quick", false);
-  const std::uint64_t seed = cli.get_uint("seed", 6);
-  const int trials = static_cast<int>(cli.get_uint("trials",
-                                                   quick ? 400 : 3000));
-  util::Rng rng(seed);
+RADIOCAST_SCENARIO(decay, "decay",
+                   "E6: Lemma 3.1 one-round Decay success probability vs"
+                   " participants") {
+  const bool quick = ctx.quick();
+  const std::uint64_t seed = ctx.seed(6);
+  const int trials =
+      static_cast<int>(ctx.cli.get_uint("trials", quick ? 400 : 3000));
 
   util::Table t({"participants", "P[received]", "ci95", "steps/round"});
   double min_p = 1.0;
   for (std::uint32_t k = 1; k <= (quick ? 256u : 1024u); k *= 2) {
     const graph::Graph g = graph::star(k + 1);
-    radio::Network net(g);
-    util::OnlineStats succ;
-    std::vector<std::uint8_t> part(g.node_count(), 1);
-    part[0] = 0;
-    std::vector<radio::Payload> pay(g.node_count(), 9);
-    for (int trial = 0; trial < trials; ++trial) {
-      std::vector<radio::Payload> best(g.node_count(), 9);
-      best[0] = radio::kNoPayload;
-      schedule::decay_round(net, part, pay, best, rng);
-      succ.add(best[0] == 9 ? 1.0 : 0.0);
-    }
+    const auto stats = ctx.runner.replicate(
+        trials, util::mix_seed(seed, k), 1, [&](int, std::uint64_t s) {
+          util::Rng rng(s);
+          radio::Network net(g);
+          std::vector<std::uint8_t> part(g.node_count(), 1);
+          part[0] = 0;
+          std::vector<radio::Payload> pay(g.node_count(), 9);
+          std::vector<radio::Payload> best(g.node_count(), 9);
+          best[0] = radio::kNoPayload;
+          schedule::decay_round(net, part, pay, best, rng);
+          return std::vector<double>{best[0] == 9 ? 1.0 : 0.0};
+        });
+    const auto& succ = stats[0];
     min_p = std::min(min_p, succ.mean());
     t.row()
         .add(std::uint64_t{k})
@@ -38,11 +46,10 @@ int main(int argc, char** argv) {
         .add(succ.ci95_halfwidth(), 3)
         .add(std::uint64_t{schedule::decay_round_length(g.node_count())});
   }
-  bench::emit(t, "E6: Lemma 3.1 Decay success probability vs participants",
-              "e6_decay");
-  std::cout << "minimum success probability over all participant counts: "
-            << util::format_double(min_p, 3)
-            << " (Lemma 3.1: a positive constant; classic analysis gives "
-               "~1/(2e) ~ 0.18)\n";
-  return 0;
+  ctx.emit(t, "E6: Lemma 3.1 Decay success probability vs participants",
+           "e6_decay");
+  ctx.note("minimum success probability over all participant counts: " +
+           util::format_double(min_p, 3) +
+           " (Lemma 3.1: a positive constant; classic analysis gives "
+           "~1/(2e) ~ 0.18)");
 }

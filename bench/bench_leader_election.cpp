@@ -6,52 +6,63 @@
 // Compete-based LE must land within a constant factor of Compete
 // broadcast. We measure CD broadcast, CD LE, binary-search LE, and print
 // the GH analytic curve.
+#include <cmath>
+#include <vector>
+
 #include "baselines/le_binary_search.hpp"
-#include "common.hpp"
 #include "core/broadcast.hpp"
 #include "core/leader_election.hpp"
 #include "core/theory.hpp"
+#include "sim/instances.hpp"
+#include "sim/runner.hpp"
+#include "sim/scenario.hpp"
 #include "util/math.hpp"
 
 using namespace radiocast;
 
-int main(int argc, char** argv) {
-  util::Cli cli(argc, argv);
-  const bool quick = cli.get_bool("quick", false);
-  const std::uint64_t seed = cli.get_uint("seed", 3);
-  const int reps = static_cast<int>(cli.get_uint("reps", quick ? 1 : 3));
+RADIOCAST_SCENARIO(leader_election, "leader-election",
+                   "E3: leader election vs broadcast cost (Theorem 5.2)") {
+  const bool quick = ctx.quick();
+  const std::uint64_t seed = ctx.seed(3);
+  const int reps = ctx.reps(1, 3);
 
   struct Case {
     graph::NodeId n;
     graph::NodeId d;
   };
-  std::vector<Case> cases = quick
-                                ? std::vector<Case>{{1024, 64}}
-                                : std::vector<Case>{{1024, 32},
-                                                    {2048, 96},
-                                                    {4096, 192},
-                                                    {4096, 384}};
+  const std::vector<Case> cases = quick
+                                      ? std::vector<Case>{{1024, 64}}
+                                      : std::vector<Case>{{1024, 32},
+                                                          {2048, 96},
+                                                          {4096, 192},
+                                                          {4096, 384}};
 
   util::Table t({"n", "D", "CD BC", "CD LE", "LE/BC", "binsearch LE",
                  "binLE/BC", "GH bound", "|C| avg"});
   for (const auto& c : cases) {
-    const bench::Instance inst = bench::make_instance(c.n, c.d);
-    util::OnlineStats bc, le, ble, cand;
-    for (int r = 0; r < reps; ++r) {
-      const std::uint64_t s = util::mix_seed(seed, r * 7919 + c.n + c.d);
-      const auto rb = core::broadcast(inst.g, inst.diameter, 0, 7,
-                                      core::CompeteParams{}, s);
-      if (rb.success) bc.add(static_cast<double>(rb.rounds));
-      const auto rl = core::elect_leader(inst.g, inst.diameter,
-                                         core::LeaderElectionParams{}, s);
-      if (rl.success) {
-        le.add(static_cast<double>(rl.rounds));
-        cand.add(rl.candidate_count);
-      }
-      const auto rble = baselines::binary_search_leader_election(
-          inst.g, inst.diameter, baselines::BinarySearchLeParams{}, s);
-      if (rble.success) ble.add(static_cast<double>(rble.rounds));
-    }
+    const sim::Instance inst = sim::make_cliquepath_instance(c.n, c.d);
+    const auto stats = ctx.runner.replicate(
+        reps, util::mix_seed(seed, 7919 * c.n + c.d), 4,
+        [&](int, std::uint64_t s) {
+          std::vector<double> m(4, std::nan(""));
+          const auto rb = core::broadcast(inst.g, inst.diameter, 0, 7,
+                                          core::CompeteParams{}, s);
+          if (rb.success) m[0] = static_cast<double>(rb.rounds);
+          const auto rl = core::elect_leader(
+              inst.g, inst.diameter, core::LeaderElectionParams{}, s);
+          if (rl.success) {
+            m[1] = static_cast<double>(rl.rounds);
+            m[3] = rl.candidate_count;
+          }
+          const auto rble = baselines::binary_search_leader_election(
+              inst.g, inst.diameter, baselines::BinarySearchLeParams{}, s);
+          if (rble.success) m[2] = static_cast<double>(rble.rounds);
+          return m;
+        });
+    const auto& bc = stats[0];
+    const auto& le = stats[1];
+    const auto& ble = stats[2];
+    const auto& cand = stats[3];
     t.row()
         .add(std::uint64_t{c.n})
         .add(std::uint64_t{inst.diameter})
@@ -63,9 +74,8 @@ int main(int argc, char** argv) {
         .add(core::theory::bound_gh_le(c.n, inst.diameter), 0)
         .add(cand.mean(), 1);
   }
-  bench::emit(t,
-              "E3: leader election vs broadcast — LE/BC must be O(1), "
-              "binsearch pays ~log n",
-              "e3_leader_election");
-  return 0;
+  ctx.emit(t,
+           "E3: leader election vs broadcast — LE/BC must be O(1), "
+           "binsearch pays ~log n",
+           "e3_leader_election");
 }

@@ -4,47 +4,69 @@
 // Sweep beta over two decades on three families; report the cut fraction
 // normalised by beta (must be O(1)) and strong-diameter quantiles
 // normalised by log n / beta (must be O(1)).
+#include <algorithm>
+#include <vector>
+
 #include "cluster/exponential_shifts.hpp"
 #include "cluster/partition_stats.hpp"
-#include "common.hpp"
+#include "sim/instances.hpp"
+#include "sim/runner.hpp"
+#include "sim/scenario.hpp"
 #include "util/math.hpp"
 
 using namespace radiocast;
 
-int main(int argc, char** argv) {
-  util::Cli cli(argc, argv);
-  const bool quick = cli.get_bool("quick", false);
-  const std::uint64_t seed = cli.get_uint("seed", 5);
-  const int reps = static_cast<int>(cli.get_uint("reps", quick ? 2 : 6));
+RADIOCAST_SCENARIO(partition, "partition",
+                   "E5: Lemma 2.1 partition cut fraction and strong"
+                   " diameter") {
+  const bool quick = ctx.quick();
+  const std::uint64_t seed = ctx.seed(5);
+  const int reps = ctx.reps(2, 6);
   util::Rng rng(seed);
 
-  std::vector<bench::Instance> instances;
-  instances.push_back(bench::make_grid_instance(quick ? 40 : 80,
-                                                quick ? 40 : 80));
+  std::vector<sim::Instance> instances;
+  instances.push_back(sim::make_grid_instance(quick ? 40 : 80,
+                                              quick ? 40 : 80));
   if (!quick) {
-    instances.push_back(bench::make_rgg_instance(4000, 0.03, rng));
-    instances.push_back(bench::make_instance(4000, 400));
+    instances.push_back(sim::make_rgg_instance(4000, 0.03, rng));
+    instances.push_back(sim::make_cliquepath_instance(4000, 400));
   }
 
   const std::vector<double> betas{0.02, 0.05, 0.1, 0.2, 0.4};
 
-  for (const auto& inst : instances) {
+  for (std::size_t ii = 0; ii < instances.size(); ++ii) {
+    const auto& inst = instances[ii];
     const double logn = util::safe_log2(inst.g.node_count());
     util::Table t({"beta", "cut frac", "cut/beta", "diam p50", "diam p95",
                    "diam max", "max/(logn/beta)", "#clusters"});
-    for (const double beta : betas) {
-      util::OnlineStats cut;
-      util::Sample diams;
-      util::OnlineStats clusters;
-      for (int r = 0; r < reps; ++r) {
-        const auto p = cluster::partition(inst.g, beta, rng);
-        cut.add(cluster::cut_fraction(inst.g, p));
+    for (std::size_t bi = 0; bi < betas.size(); ++bi) {
+      const double beta = betas[bi];
+      struct RepResult {
+        double cut = 0.0;
+        double clusters = 0.0;
+        std::vector<double> diams;
+      };
+      const std::uint64_t base = util::mix_seed(seed, ii * 100 + bi);
+      const auto per_rep = ctx.runner.map(reps, [&](int rep) {
+        util::Rng rep_rng(util::mix_seed(base, rep));
+        RepResult res;
+        const auto p = cluster::partition(inst.g, beta, rep_rng);
+        res.cut = cluster::cut_fraction(inst.g, p);
         const auto infos = cluster::cluster_infos(inst.g, p);
-        clusters.add(static_cast<double>(infos.size()));
+        res.clusters = static_cast<double>(infos.size());
+        res.diams.reserve(infos.size());
         for (const auto& info : infos) {
-          diams.add(static_cast<double>(
+          res.diams.push_back(static_cast<double>(
               std::max(info.strong_diameter_lb, info.strong_radius)));
         }
+        return res;
+      });
+      util::OnlineStats cut, clusters;
+      util::Sample diams;
+      for (const auto& res : per_rep) {
+        cut.add(res.cut);
+        clusters.add(res.clusters);
+        for (const double d : res.diams) diams.add(d);
       }
       t.row()
           .add(beta, 3)
@@ -56,8 +78,7 @@ int main(int argc, char** argv) {
           .add(diams.max() / (logn / beta), 3)
           .add(clusters.mean(), 0);
     }
-    bench::emit(t, "E5: Lemma 2.1 partition properties on " + inst.name,
-                "e5_partition_" + std::to_string(inst.g.node_count()));
+    ctx.emit(t, "E5: Lemma 2.1 partition properties on " + inst.name,
+             "e5_partition_" + std::to_string(inst.g.node_count()));
   }
-  return 0;
 }

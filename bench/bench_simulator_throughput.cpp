@@ -1,107 +1,136 @@
-// Microbenchmarks (google-benchmark) of the simulation substrate itself:
-// the dense and sparse collision-resolution kernels, Partition(beta), BFS,
-// and TreeSchedule construction. These are engineering measurements (not a
-// paper experiment): they justify the round budgets the E1-E11 experiments
-// can afford.
-#include <benchmark/benchmark.h>
+// Microbenchmarks of the simulation substrate itself: the dense and
+// sparse collision-resolution kernels, Partition(beta), BFS, and
+// TreeSchedule construction. These are engineering measurements (not a
+// paper experiment): they justify the round budgets the E1-E11 scenarios
+// can afford. Timed with steady_clock over fixed iteration counts so the
+// scenario needs no external benchmark framework.
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
 
 #include "cluster/exponential_shifts.hpp"
 #include "graph/algorithms.hpp"
-#include "graph/generators.hpp"
 #include "radio/network.hpp"
 #include "schedule/bfs_schedule.hpp"
-#include "util/rng.hpp"
-
-namespace {
+#include "sim/instances.hpp"
+#include "sim/runner.hpp"
+#include "sim/scenario.hpp"
 
 using namespace radiocast;
 
-const graph::Graph& test_graph() {
-  static const graph::Graph g = [] {
-    util::Rng rng(1);
-    return graph::random_geometric(20000, 0.012, rng);
-  }();
-  return g;
-}
+namespace {
 
-void BM_NetworkStepDense(benchmark::State& state) {
-  const graph::Graph& g = test_graph();
-  radio::Network net(g);
-  util::Rng rng(2);
-  const graph::NodeId n = g.node_count();
-  std::vector<std::uint8_t> tx(n, 0);
-  std::vector<radio::Payload> pay(n, 1);
-  const double density = 1e-2 * static_cast<double>(state.range(0));
-  for (graph::NodeId v = 0; v < n; ++v) tx[v] = rng.bernoulli(density);
-  radio::RoundOutcome out;
-  for (auto _ : state) {
-    net.step(tx, pay, out);
-    benchmark::DoNotOptimize(out.delivered_count);
-  }
-  state.SetItemsProcessed(state.iterations() * n);
+/// Times `iters` calls of `body` (after one warmup call) and returns
+/// nanoseconds per call.
+template <typename Fn>
+double time_ns_per_op(int iters, Fn&& body) {
+  body();  // warmup
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) body();
+  const auto stop = std::chrono::steady_clock::now();
+  const auto ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(stop - start)
+          .count();
+  return static_cast<double>(ns) / iters;
 }
-BENCHMARK(BM_NetworkStepDense)->Arg(1)->Arg(10)->Arg(50);
-
-void BM_NetworkStepSparse(benchmark::State& state) {
-  const graph::Graph& g = test_graph();
-  radio::Network net(g);
-  util::Rng rng(3);
-  const graph::NodeId n = g.node_count();
-  std::vector<graph::NodeId> tx_nodes;
-  std::vector<radio::Payload> tx_pay;
-  const double density = 1e-2 * static_cast<double>(state.range(0));
-  for (graph::NodeId v = 0; v < n; ++v) {
-    if (rng.bernoulli(density)) {
-      tx_nodes.push_back(v);
-      tx_pay.push_back(1);
-    }
-  }
-  radio::Network::SparseOutcome out;
-  for (auto _ : state) {
-    net.step_sparse(tx_nodes, tx_pay, out);
-    benchmark::DoNotOptimize(out.deliveries.size());
-  }
-  state.SetItemsProcessed(state.iterations() *
-                          std::max<std::size_t>(1, tx_nodes.size()));
-}
-BENCHMARK(BM_NetworkStepSparse)->Arg(1)->Arg(10)->Arg(50);
-
-void BM_PartitionBeta(benchmark::State& state) {
-  const graph::Graph& g = test_graph();
-  util::Rng rng(4);
-  const double beta = 1e-3 * static_cast<double>(state.range(0));
-  for (auto _ : state) {
-    auto p = cluster::partition(g, beta, rng);
-    benchmark::DoNotOptimize(p.center.data());
-  }
-  state.SetItemsProcessed(state.iterations() * g.node_count());
-}
-BENCHMARK(BM_PartitionBeta)->Arg(10)->Arg(100)->Arg(500);
-
-void BM_Bfs(benchmark::State& state) {
-  const graph::Graph& g = test_graph();
-  for (auto _ : state) {
-    auto d = graph::bfs_distances(g, 0);
-    benchmark::DoNotOptimize(d.data());
-  }
-  state.SetItemsProcessed(state.iterations() * g.node_count());
-}
-BENCHMARK(BM_Bfs);
-
-void BM_TreeScheduleBuild(benchmark::State& state) {
-  const graph::Graph& g = test_graph();
-  util::Rng rng(5);
-  const auto p = cluster::partition(g, 0.2, rng);
-  const bool colored = state.range(0) != 0;
-  for (auto _ : state) {
-    schedule::TreeSchedule s(g, p,
-                             colored ? schedule::ScheduleMode::kColored
-                                     : schedule::ScheduleMode::kPipelined);
-    benchmark::DoNotOptimize(s.period());
-  }
-}
-BENCHMARK(BM_TreeScheduleBuild)->Arg(0)->Arg(1);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+RADIOCAST_SCENARIO(throughput, "throughput",
+                   "simulator kernel throughput: step/step_sparse/"
+                   "partition/BFS/schedule build") {
+  const bool quick = ctx.quick();
+  const std::uint64_t seed = ctx.seed(1);
+
+  util::Rng rng(seed);
+  const graph::NodeId n = quick ? 4000 : 20000;
+  const double radius = quick ? 0.03 : 0.012;
+  const graph::Graph g = graph::random_geometric(n, radius, rng);
+  const int iters = quick ? 20 : 100;
+
+  util::Table t({"kernel", "param", "ns/op", "Mitems/s"});
+  auto report = [&](const std::string& kernel, const std::string& param,
+                    double ns_per_op, double items_per_op) {
+    t.row()
+        .add(kernel)
+        .add(param)
+        .add(ns_per_op, 0)
+        .add(ns_per_op > 0 ? items_per_op * 1e3 / ns_per_op : 0.0, 1);
+  };
+
+  // Dense and sparse collision-resolution kernels at several densities.
+  for (const int pct : {1, 10, 50}) {
+    const double density = 1e-2 * pct;
+    radio::Network net(g);
+    util::Rng trng(util::mix_seed(seed, pct));
+    std::vector<std::uint8_t> tx(n, 0);
+    std::vector<radio::Payload> pay(n, 1);
+    std::vector<graph::NodeId> tx_nodes;
+    std::vector<radio::Payload> tx_pay;
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (trng.bernoulli(density)) {
+        tx[v] = 1;
+        tx_nodes.push_back(v);
+        tx_pay.push_back(1);
+      }
+    }
+    radio::RoundOutcome dense_out;
+    report("step (dense)", std::to_string(pct) + "% tx",
+           time_ns_per_op(iters, [&] { net.step(tx, pay, dense_out); }),
+           static_cast<double>(n));
+    radio::Network::SparseOutcome sparse_out;
+    report("step_sparse", std::to_string(pct) + "% tx",
+           time_ns_per_op(iters,
+                          [&] { net.step_sparse(tx_nodes, tx_pay,
+                                                sparse_out); }),
+           static_cast<double>(std::max<std::size_t>(1, tx_nodes.size())));
+  }
+
+  // Partition(beta) over two decades of beta.
+  for (const int beta_m : {10, 100, 500}) {
+    const double beta = 1e-3 * beta_m;
+    util::Rng prng(util::mix_seed(seed, 1000 + beta_m));
+    report("partition", "beta=" + std::to_string(beta_m) + "e-3",
+           time_ns_per_op(quick ? 5 : 20,
+                          [&] {
+                            auto p = cluster::partition(g, beta, prng);
+                            (void)p;
+                          }),
+           static_cast<double>(n));
+  }
+
+  // BFS distances.
+  report("bfs_distances", "full graph",
+         time_ns_per_op(quick ? 10 : 50,
+                        [&] {
+                          auto d = graph::bfs_distances(g, 0);
+                          (void)d;
+                        }),
+         static_cast<double>(n));
+
+  // TreeSchedule construction in both modes.
+  {
+    util::Rng srng(util::mix_seed(seed, 2000));
+    const auto p = cluster::partition(g, 0.2, srng);
+    for (const bool colored : {false, true}) {
+      report("TreeSchedule", colored ? "colored" : "pipelined",
+             time_ns_per_op(quick ? 5 : 20,
+                            [&] {
+                              schedule::TreeSchedule s(
+                                  g, p,
+                                  colored
+                                      ? schedule::ScheduleMode::kColored
+                                      : schedule::ScheduleMode::kPipelined);
+                              (void)s;
+                            }),
+             static_cast<double>(n));
+    }
+  }
+
+  ctx.emit(t, "simulator kernel throughput on rgg(n=" + std::to_string(n) +
+               ")",
+           "throughput");
+  ctx.note("(timings vary run to run; the Mitems/s column is the "
+           "per-kernel budget driver for the E1-E13 scenarios)");
+}

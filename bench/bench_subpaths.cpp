@@ -7,27 +7,29 @@
 // measured/predicted ratios (constants are absorbed; the shape — decay
 // with D — is the claim under test).
 #include <cmath>
+#include <vector>
 
 #include "cluster/exponential_shifts.hpp"
 #include "cluster/partition_stats.hpp"
-#include "common.hpp"
 #include "core/theory.hpp"
+#include "sim/instances.hpp"
+#include "sim/runner.hpp"
+#include "sim/scenario.hpp"
 #include "util/math.hpp"
 
 using namespace radiocast;
 
-int main(int argc, char** argv) {
-  util::Cli cli(argc, argv);
-  const bool quick = cli.get_bool("quick", false);
-  const std::uint64_t seed = cli.get_uint("seed", 8);
-  const int reps = static_cast<int>(cli.get_uint("reps", quick ? 2 : 5));
-  const int path_samples = static_cast<int>(cli.get_uint("paths", 8));
-  util::Rng rng(seed);
+RADIOCAST_SCENARIO(subpaths, "subpaths",
+                   "E8: Lemma 4.3/4.4 coarse-boundary statistics") {
+  const bool quick = ctx.quick();
+  const std::uint64_t seed = ctx.seed(8);
+  const int reps = ctx.reps(2, 5);
+  const int path_samples = static_cast<int>(ctx.cli.get_uint("paths", 8));
 
-  std::vector<bench::Instance> instances;
-  instances.push_back(bench::make_instance(quick ? 2048 : 4096,
-                                           quick ? 256 : 512));
-  if (!quick) instances.push_back(bench::make_instance(8192, 1024));
+  std::vector<sim::Instance> instances;
+  instances.push_back(sim::make_cliquepath_instance(quick ? 2048 : 4096,
+                                                    quick ? 256 : 512));
+  if (!quick) instances.push_back(sim::make_cliquepath_instance(8192, 1024));
 
   util::Table t({"D", "sub len D^.12", "radius D^.11", "P[bad] meas",
                  "P[bad] pred D^-.26", "bad/path meas", "bad/path pred D^.63",
@@ -40,8 +42,15 @@ int main(int argc, char** argv) {
     const auto radius = std::max<std::uint32_t>(
         1, static_cast<std::uint32_t>(std::round(util::fpow(d, 0.11))));
 
-    util::OnlineStats badness, bad_per_path, multi;
-    for (int r = 0; r < reps; ++r) {
+    struct RepResult {
+      std::vector<double> badness;
+      std::vector<double> bad_per_path;
+      std::vector<double> multi;
+    };
+    const std::uint64_t base = util::mix_seed(seed, inst.diameter);
+    const auto per_rep = ctx.runner.map(reps, [&](int rep) {
+      util::Rng rng(util::mix_seed(base, rep));
+      RepResult res;
       const auto p = cluster::partition(inst.g, beta, rng);
       // Sample canonical shortest paths between random endpoint pairs.
       for (int s = 0; s < path_samples; ++s) {
@@ -55,18 +64,25 @@ int main(int argc, char** argv) {
         const auto b =
             cluster::subpath_badness(inst.g, p, path, sub_len, radius);
         if (b.total_subpaths > 0) {
-          badness.add(static_cast<double>(b.bad_subpaths) /
-                      b.total_subpaths);
-          bad_per_path.add(static_cast<double>(b.bad_subpaths));
+          res.badness.push_back(static_cast<double>(b.bad_subpaths) /
+                                b.total_subpaths);
+          res.bad_per_path.push_back(static_cast<double>(b.bad_subpaths));
         }
       }
       // Lemma 4.3 quantity at a sample of nodes.
       for (int s = 0; s < 32; ++s) {
         const graph::NodeId v =
             static_cast<graph::NodeId>(rng.uniform(inst.g.node_count()));
-        multi.add(cluster::clusters_within(inst.g, p, v, radius) >= 2 ? 1.0
-                                                                      : 0.0);
+        res.multi.push_back(
+            cluster::clusters_within(inst.g, p, v, radius) >= 2 ? 1.0 : 0.0);
       }
+      return res;
+    });
+    util::OnlineStats badness, bad_per_path, multi;
+    for (const auto& res : per_rep) {
+      for (const double x : res.badness) badness.add(x);
+      for (const double x : res.bad_per_path) bad_per_path.add(x);
+      for (const double x : res.multi) multi.add(x);
     }
     t.row()
         .add(std::uint64_t{inst.diameter})
@@ -79,7 +95,5 @@ int main(int argc, char** argv) {
         .add(multi.mean(), 4)
         .add(3.0 * util::fpow(d, -0.39), 4);
   }
-  bench::emit(t, "E8: Lemma 4.3/4.4 coarse-boundary statistics",
-              "e8_subpaths");
-  return 0;
+  ctx.emit(t, "E8: Lemma 4.3/4.4 coarse-boundary statistics", "e8_subpaths");
 }

@@ -1,0 +1,93 @@
+// radiocast_bench — the single experiment driver.
+//
+//   radiocast_bench --list
+//   radiocast_bench <scenario> [--quick] [--seed=S] [--reps=R]
+//                   [--threads=N] [--out=DIR]
+//
+// Scenarios self-register into sim::ScenarioRegistry (see the
+// RADIOCAST_SCENARIO registrations in bench/bench_*.cpp); the driver just
+// dispatches the subcommand and owns the shared replication runner.
+#include <algorithm>
+#include <exception>
+#include <iostream>
+#include <string>
+
+#include "sim/runner.hpp"
+#include "sim/scenario.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+void print_list(const radiocast::sim::ScenarioRegistry& registry) {
+  std::size_t width = 0;
+  for (const auto* s : registry.list()) {
+    width = std::max(width, s->name.size());
+  }
+  std::cout << "scenarios (" << registry.size() << "):\n";
+  for (const auto* s : registry.list()) {
+    std::cout << "  " << s->name
+              << std::string(width - s->name.size() + 2, ' ')
+              << s->description << "\n";
+  }
+}
+
+void print_usage(const char* program) {
+  std::cout
+      << "usage: " << program << " <scenario> [flags]\n"
+      << "       " << program << " --list\n\n"
+      << "flags:\n"
+      << "  --quick        smaller sweeps (smoke-test sized)\n"
+      << "  --seed=S       base RNG seed (per-scenario default otherwise)\n"
+      << "  --reps=R       replications per sweep point\n"
+      << "  --threads=N    worker threads for replications (default 1);\n"
+      << "                 results are identical for any N\n"
+      << "  --out=DIR      CSV output directory (default bench_out;\n"
+      << "                 empty string disables CSV)\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using radiocast::sim::Runner;
+  using radiocast::sim::ScenarioContext;
+  using radiocast::sim::ScenarioRegistry;
+
+  try {
+    const radiocast::util::Cli cli(argc, argv);
+    const auto& registry = ScenarioRegistry::global();
+
+    // Cli's `--flag value` syntax eats a scenario name that follows a bare
+    // boolean flag (`--quick decay`); catch the misparse before the
+    // get_bool calls below choke on it, and point at the fix.
+    for (const auto* s : registry.list()) {
+      for (const char* flag : {"quick", "list", "help"}) {
+        if (cli.get_string(flag, "") == s->name) {
+          std::cerr << "error: '" << s->name << "' was parsed as the value"
+                    << " of --" << flag << "; put the scenario first:\n  "
+                    << cli.program() << " " << s->name << " --" << flag
+                    << "\n";
+          return 2;
+        }
+      }
+    }
+
+    if (cli.get_bool("list", false) || cli.subcommand() == "list") {
+      print_list(registry);
+      return 0;
+    }
+    if (cli.subcommand().empty() || cli.get_bool("help", false)) {
+      print_usage(cli.program().c_str());
+      print_list(registry);
+      return cli.subcommand().empty() && !cli.get_bool("help", false) ? 2 : 0;
+    }
+
+    Runner runner(static_cast<int>(cli.get_int("threads", 1)));
+    ScenarioContext ctx(cli, runner);
+    if (cli.has("out")) ctx.out_dir = cli.get_string("out", "bench_out");
+    registry.run(cli.subcommand(), ctx);
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,31 @@
+#include "sim/instances.hpp"
+
+namespace radiocast::sim {
+
+Instance make_cliquepath_instance(graph::NodeId n, graph::NodeId d_target) {
+  Instance inst;
+  inst.g = graph::diameter_controlled(n, d_target);
+  inst.diameter = graph::diameter_double_sweep(inst.g);
+  inst.name = "cliquepath(n=" + std::to_string(n) +
+              ",D=" + std::to_string(inst.diameter) + ")";
+  return inst;
+}
+
+Instance make_grid_instance(graph::NodeId rows, graph::NodeId cols) {
+  Instance inst;
+  inst.g = graph::grid(rows, cols);
+  inst.diameter = rows + cols - 2;
+  inst.name = "grid(" + std::to_string(rows) + "x" + std::to_string(cols) + ")";
+  return inst;
+}
+
+Instance make_rgg_instance(graph::NodeId n, double radius, util::Rng& rng) {
+  Instance inst;
+  inst.g = graph::random_geometric(n, radius, rng);
+  inst.diameter = graph::diameter_double_sweep(inst.g);
+  inst.name = "rgg(n=" + std::to_string(n) +
+              ",D=" + std::to_string(inst.diameter) + ")";
+  return inst;
+}
+
+}  // namespace radiocast::sim

@@ -1,0 +1,31 @@
+// Named benchmark instances: a graph plus its measured diameter, built
+// from the generator families the experiments sweep over. Absorbed from
+// the old per-binary bench/common.hpp so scenarios and tests share one
+// set of builders.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace radiocast::sim {
+
+/// A graph together with its measured diameter.
+struct Instance {
+  graph::Graph g;
+  std::uint32_t diameter = 0;
+  std::string name;
+};
+
+/// n-node, roughly-D-diameter instance from the path-of-cliques family —
+/// the "D polynomial in n" regime the paper targets.
+Instance make_cliquepath_instance(graph::NodeId n, graph::NodeId d_target);
+
+Instance make_grid_instance(graph::NodeId rows, graph::NodeId cols);
+
+Instance make_rgg_instance(graph::NodeId n, double radius, util::Rng& rng);
+
+}  // namespace radiocast::sim

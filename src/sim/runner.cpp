@@ -1,0 +1,69 @@
+#include "sim/runner.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace radiocast::sim {
+
+Runner::Runner(int threads) : threads_(threads < 1 ? 1 : threads) {}
+
+void Runner::run_indexed(int count, const std::function<void(int)>& task) {
+  if (count <= 0) return;
+  const int workers = std::min(threads_, count);
+  if (workers <= 1) {
+    for (int i = 0; i < count; ++i) task(i);
+    return;
+  }
+  std::atomic<int> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  auto worker = [&] {
+    for (;;) {
+      const int i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) return;
+      try {
+        task(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(workers));
+  for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+std::vector<util::OnlineStats> Runner::replicate(
+    int reps, std::uint64_t base_seed, std::size_t metric_count,
+    const std::function<std::vector<double>(int rep, std::uint64_t seed)>&
+        body) {
+  const auto per_rep = map(reps, [&](int rep) {
+    std::vector<double> metrics =
+        body(rep, util::mix_seed(base_seed, static_cast<std::uint64_t>(rep)));
+    if (metrics.size() != metric_count) {
+      throw std::logic_error(
+          "Runner::replicate: body returned " +
+          std::to_string(metrics.size()) + " metrics, expected " +
+          std::to_string(metric_count));
+    }
+    return metrics;
+  });
+  std::vector<util::OnlineStats> stats(metric_count);
+  for (const auto& metrics : per_rep) {
+    for (std::size_t m = 0; m < metric_count; ++m) {
+      if (!std::isnan(metrics[m])) stats[m].add(metrics[m]);
+    }
+  }
+  return stats;
+}
+
+}  // namespace radiocast::sim

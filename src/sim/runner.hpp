@@ -1,0 +1,59 @@
+// Replication runner: the one sweep x replication loop shared by every
+// scenario.
+//
+// Scenarios describe a sweep point as `reps` independent replications,
+// each fully determined by (base_seed, rep index); the runner executes
+// them across a thread pool and merges results *in replication order*, so
+// the output is byte-identical for any --threads=N. The only contract a
+// replication body must honour is: no state shared between replications
+// (derive a fresh Rng from the seed argument).
+#pragma once
+
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace radiocast::sim {
+
+class Runner {
+ public:
+  /// threads <= 1 means run everything inline on the caller's thread.
+  explicit Runner(int threads = 1);
+
+  int threads() const { return threads_; }
+
+  /// Deterministic parallel map: invokes fn(i) for i in [0, count), using
+  /// up to threads() workers, and returns the results ordered by index.
+  /// Results are independent of the thread count provided fn(i) depends
+  /// only on i. The first exception thrown by any fn(i) is rethrown.
+  template <typename Fn>
+  auto map(int count, Fn&& fn) -> std::vector<decltype(fn(0))> {
+    std::vector<decltype(fn(0))> results(
+        static_cast<std::size_t>(count < 0 ? 0 : count));
+    run_indexed(count, [&](int i) { results[static_cast<std::size_t>(i)] =
+                                        fn(i); });
+    return results;
+  }
+
+  /// Replication sweep: runs `reps` replications of `body`, each handed
+  /// its index and the derived seed mix_seed(base_seed, rep). The body
+  /// returns one double per metric (NaN = metric absent this replication,
+  /// e.g. a failed run); the vectors are merged into per-metric
+  /// OnlineStats in replication order.
+  std::vector<util::OnlineStats> replicate(
+      int reps, std::uint64_t base_seed, std::size_t metric_count,
+      const std::function<std::vector<double>(int rep, std::uint64_t seed)>&
+          body);
+
+ private:
+  /// Runs task(i) for i in [0, count) over the worker pool; rethrows the
+  /// first captured exception after all workers join.
+  void run_indexed(int count, const std::function<void(int)>& task);
+
+  int threads_;
+};
+
+}  // namespace radiocast::sim

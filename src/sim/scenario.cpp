@@ -1,0 +1,102 @@
+#include "sim/scenario.hpp"
+
+#include <filesystem>
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "util/table.hpp"
+
+namespace radiocast::sim {
+
+ScenarioContext::ScenarioContext(const util::Cli& cli_in, Runner& runner_in)
+    : cli(cli_in), runner(runner_in), out(&std::cout) {}
+
+bool ScenarioContext::quick() const { return cli.get_bool("quick", false); }
+
+std::uint64_t ScenarioContext::seed(std::uint64_t fallback) const {
+  return cli.get_uint("seed", fallback);
+}
+
+int ScenarioContext::reps(int quick_default, int full_default) const {
+  return static_cast<int>(cli.get_uint(
+      "reps",
+      static_cast<std::uint64_t>(quick() ? quick_default : full_default)));
+}
+
+void ScenarioContext::emit(const util::Table& table, const std::string& title,
+                           const std::string& csv_name) {
+  table.print(*out, title);
+  if (out_dir.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    *out << "[csv] cannot create " << out_dir << ": " << ec.message() << "\n";
+    return;
+  }
+  const std::string path =
+      (std::filesystem::path(out_dir) / (csv_name + ".csv")).string();
+  if (table.write_csv(path)) {
+    *out << "[csv] " << path << "\n";
+  }
+}
+
+void ScenarioContext::note(const std::string& line) { *out << line << "\n"; }
+
+ScenarioRegistry& ScenarioRegistry::global() {
+  static ScenarioRegistry registry;
+  return registry;
+}
+
+void ScenarioRegistry::add(Scenario scenario) {
+  if (scenario.name.empty()) {
+    throw std::invalid_argument("scenario name must be non-empty");
+  }
+  if (!scenario.run) {
+    throw std::invalid_argument("scenario '" + scenario.name +
+                                "' has no run function");
+  }
+  std::string name = scenario.name;
+  const auto [it, inserted] = scenarios_.emplace(name, std::move(scenario));
+  (void)it;
+  if (!inserted) {
+    throw std::invalid_argument("duplicate scenario name '" + name + "'");
+  }
+}
+
+const Scenario* ScenarioRegistry::find(const std::string& name) const {
+  const auto it = scenarios_.find(name);
+  return it == scenarios_.end() ? nullptr : &it->second;
+}
+
+std::vector<const Scenario*> ScenarioRegistry::list() const {
+  std::vector<const Scenario*> out;
+  out.reserve(scenarios_.size());
+  for (const auto& [name, scenario] : scenarios_) out.push_back(&scenario);
+  return out;
+}
+
+void ScenarioRegistry::run(const std::string& name,
+                           ScenarioContext& ctx) const {
+  const Scenario* s = find(name);
+  if (s == nullptr) {
+    std::ostringstream msg;
+    msg << "unknown scenario '" << name << "'; known scenarios:";
+    for (const auto& [known, scenario] : scenarios_) {
+      (void)scenario;
+      msg << " " << known;
+    }
+    throw std::invalid_argument(msg.str());
+  }
+  s->run(ctx);
+}
+
+ScenarioRegistration::ScenarioRegistration(std::string name,
+                                           std::string description,
+                                           ScenarioFn fn) {
+  ScenarioRegistry::global().add(
+      Scenario{std::move(name), std::move(description), std::move(fn)});
+}
+
+}  // namespace radiocast::sim

@@ -1,0 +1,105 @@
+// Scenario registry for the unified experiment driver.
+//
+// Every experiment ("scenario") registers itself by name with a one-line
+// description and a run function; the `radiocast_bench` binary dispatches
+// `radiocast_bench <scenario> [flags]` through the registry, so adding a
+// workload is a ~50-line registration in bench/ instead of a new binary.
+// Registration happens at static-initialisation time via the
+// RADIOCAST_SCENARIO macro; scenarios are compiled directly into the
+// driver executable so no linker tricks are needed to keep them alive.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+namespace radiocast::sim {
+
+class Runner;
+
+/// Everything a scenario needs at run time: parsed flags, the shared
+/// replication runner, and the output sinks (stdout stream + CSV dir).
+/// Tests substitute their own stream / disable CSV by leaving out_dir
+/// empty.
+struct ScenarioContext {
+  ScenarioContext(const util::Cli& cli, Runner& runner);
+
+  const util::Cli& cli;
+  Runner& runner;
+  /// Destination for tables and notes (defaults to std::cout).
+  std::ostream* out;
+  /// Directory for CSV dumps; empty disables CSV emission.
+  std::string out_dir = "bench_out";
+
+  bool quick() const;
+  /// --seed, or `fallback` when absent (scenarios keep their historical
+  /// per-experiment default seeds).
+  std::uint64_t seed(std::uint64_t fallback) const;
+  /// --reps, or the quick/full default.
+  int reps(int quick_default, int full_default) const;
+
+  /// Prints the table with a title banner and, when out_dir is non-empty,
+  /// writes `<out_dir>/<csv_name>.csv` (directories created on demand).
+  void emit(const util::Table& table, const std::string& title,
+            const std::string& csv_name);
+  /// Prints a free-form note line after a table.
+  void note(const std::string& line);
+};
+
+using ScenarioFn = std::function<void(ScenarioContext&)>;
+
+struct Scenario {
+  std::string name;
+  std::string description;
+  ScenarioFn run;
+};
+
+/// Name -> scenario map. Instantiable for tests; the driver and the
+/// RADIOCAST_SCENARIO macro use the process-wide global() instance.
+class ScenarioRegistry {
+ public:
+  static ScenarioRegistry& global();
+
+  /// Throws std::invalid_argument on empty/duplicate names or missing run
+  /// function.
+  void add(Scenario scenario);
+  /// nullptr when absent.
+  const Scenario* find(const std::string& name) const;
+  /// All scenarios, name-sorted.
+  std::vector<const Scenario*> list() const;
+  std::size_t size() const { return scenarios_.size(); }
+
+  /// Dispatches to the named scenario; throws std::invalid_argument with
+  /// the list of known names on an unknown scenario.
+  void run(const std::string& name, ScenarioContext& ctx) const;
+
+ private:
+  std::map<std::string, Scenario> scenarios_;
+};
+
+/// Registers into ScenarioRegistry::global() at static-init time.
+struct ScenarioRegistration {
+  ScenarioRegistration(std::string name, std::string description,
+                       ScenarioFn fn);
+};
+
+}  // namespace radiocast::sim
+
+/// Defines and registers a scenario run function:
+///   RADIOCAST_SCENARIO(my_exp, "my-exp", "what it measures") {
+///     ctx.emit(...);
+///   }
+#define RADIOCAST_SCENARIO(ident, name, description)                        \
+  static void radiocast_scenario_##ident(::radiocast::sim::ScenarioContext& \
+                                             ctx);                          \
+  static const ::radiocast::sim::ScenarioRegistration                       \
+      radiocast_scenario_reg_##ident{name, description,                     \
+                                     &radiocast_scenario_##ident};          \
+  static void radiocast_scenario_##ident(                                   \
+      [[maybe_unused]] ::radiocast::sim::ScenarioContext& ctx)

@@ -5,8 +5,7 @@
 
 namespace radiocast::util {
 
-Cli::Cli(int argc, const char* const* argv, bool allow_unknown) {
-  (void)allow_unknown;
+Cli::Cli(int argc, const char* const* argv) {
   program_ = argc > 0 ? argv[0] : "program";
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -27,6 +26,15 @@ Cli::Cli(int argc, const char* const* argv, bool allow_unknown) {
 }
 
 bool Cli::has(const std::string& name) const { return flags_.count(name) > 0; }
+
+std::string Cli::subcommand() const {
+  return positional_.empty() ? std::string{} : positional_.front();
+}
+
+std::vector<std::string> Cli::subcommand_args() const {
+  if (positional_.size() <= 1) return {};
+  return {positional_.begin() + 1, positional_.end()};
+}
 
 std::string Cli::get_string(const std::string& name,
                             const std::string& fallback) const {

@@ -1,8 +1,10 @@
-// Minimal command-line flag parser for examples and bench binaries.
+// Minimal command-line flag parser for examples and the bench driver.
 //
 // Flags take the forms --name=value, --name value, or boolean --name.
-// Unknown flags are an error by default so typos in experiment scripts fail
-// loudly rather than silently running a different configuration.
+// The parser accepts any flag name; values are validated by type when
+// accessed (get_int/get_bool/... throw on malformed values). Callers that
+// want to reject typo'd flag names must check has()/describe() themselves
+// — the parser cannot know the legal set at parse time.
 #pragma once
 
 #include <cstdint>
@@ -16,7 +18,7 @@ namespace radiocast::util {
 class Cli {
  public:
   /// Parses argv; throws std::invalid_argument on malformed input.
-  Cli(int argc, const char* const* argv, bool allow_unknown = false);
+  Cli(int argc, const char* const* argv);
 
   bool has(const std::string& name) const;
   std::string get_string(const std::string& name,
@@ -30,6 +32,12 @@ class Cli {
   /// Positional (non-flag) arguments in order.
   const std::vector<std::string>& positional() const { return positional_; }
   const std::string& program() const { return program_; }
+
+  /// Subcommand dispatch for `program <subcommand> [flags]` drivers: the
+  /// first positional argument, or "" when none was given.
+  std::string subcommand() const;
+  /// Positional arguments after the subcommand.
+  std::vector<std::string> subcommand_args() const;
 
   /// Registers a flag for the usage string; returns *this for chaining.
   Cli& describe(const std::string& name, const std::string& help);

@@ -59,7 +59,9 @@ TEST(Adversarial, DiameterHintTooSmall) {
   const auto r = core::broadcast(g, /*lying hint=*/8, 0, 7,
                                  core::CompeteParams{}, 6);
   EXPECT_EQ(r.informed <= g.node_count(), true);
-  if (!r.success) EXPECT_LT(r.informed, g.node_count());
+  if (!r.success) {
+    EXPECT_LT(r.informed, g.node_count());
+  }
 }
 
 TEST(Adversarial, DiameterHintTooLargeStillCorrect) {

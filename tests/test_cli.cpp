@@ -56,6 +56,21 @@ TEST(Cli, PositionalArguments) {
   EXPECT_EQ(c.positional()[1], "file2");
 }
 
+TEST(Cli, SubcommandIsFirstPositional) {
+  const Cli c = make({"run", "--n=3", "extra1", "extra2"});
+  EXPECT_EQ(c.subcommand(), "run");
+  const auto rest = c.subcommand_args();
+  ASSERT_EQ(rest.size(), 2u);
+  EXPECT_EQ(rest[0], "extra1");
+  EXPECT_EQ(rest[1], "extra2");
+}
+
+TEST(Cli, SubcommandEmptyWhenNoPositionals) {
+  const Cli c = make({"--n=3"});
+  EXPECT_EQ(c.subcommand(), "");
+  EXPECT_TRUE(c.subcommand_args().empty());
+}
+
 TEST(Cli, MalformedNumberThrows) {
   const Cli c = make({"--n=abc"});
   EXPECT_THROW(c.get_int("n", 0), std::invalid_argument);

@@ -23,7 +23,9 @@ TEST(Hierarchy, StructureMatchesParams) {
   // j values ascending and >= 1.
   for (std::size_t i = 0; i < h.j_values().size(); ++i) {
     EXPECT_GE(h.j_values()[i], 1u);
-    if (i > 0) EXPECT_GT(h.j_values()[i], h.j_values()[i - 1]);
+    if (i > 0) {
+      EXPECT_GT(h.j_values()[i], h.j_values()[i - 1]);
+    }
   }
   EXPECT_GT(h.charged_precompute_rounds(), 0u);
 }

@@ -99,7 +99,9 @@ TEST(TreeSchedule, SingletonClustersTrivial) {
   const Partition p = partition(g, 100.0, rng);
   const TreeSchedule s(g, p, ScheduleMode::kColored);
   for (graph::NodeId v = 0; v < g.node_count(); ++v) {
-    if (p.is_center(v)) EXPECT_TRUE(s.children(v).empty() || true);
+    if (p.is_center(v)) {
+      EXPECT_TRUE(s.children(v).empty() || true);
+    }
   }
   EXPECT_GE(s.period(), 1u);
 }
