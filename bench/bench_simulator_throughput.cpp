@@ -38,10 +38,11 @@ double time_ns_per_op(int iters, Fn&& body) {
 }  // namespace
 
 RADIOCAST_SCENARIO(throughput, "throughput",
-                   "simulator kernel throughput: step/step_sparse/"
-                   "partition/BFS/schedule build") {
+                   "simulator kernel throughput: step/resolve/"
+                   "partition/BFS/schedule build (--medium selects backend)") {
   const bool quick = ctx.quick();
   const std::uint64_t seed = ctx.seed(1);
+  const radio::MediumKind medium = ctx.medium_kind();
 
   util::Rng rng(seed);
   const graph::NodeId n = quick ? 4000 : 20000;
@@ -62,7 +63,7 @@ RADIOCAST_SCENARIO(throughput, "throughput",
   // Dense and sparse collision-resolution kernels at several densities.
   for (const int pct : {1, 10, 50}) {
     const double density = 1e-2 * pct;
-    radio::Network net(g);
+    radio::Network net(g, radio::CollisionModel::kNoDetection, medium);
     util::Rng trng(util::mix_seed(seed, pct));
     std::vector<std::uint8_t> tx(n, 0);
     std::vector<radio::Payload> pay(n, 1);
@@ -79,11 +80,11 @@ RADIOCAST_SCENARIO(throughput, "throughput",
     report("step (dense)", std::to_string(pct) + "% tx",
            time_ns_per_op(iters, [&] { net.step(tx, pay, dense_out); }),
            static_cast<double>(n));
-    radio::Network::SparseOutcome sparse_out;
-    report("step_sparse", std::to_string(pct) + "% tx",
+    radio::SparseOutcome sparse_out;
+    report("resolve (sparse)", std::to_string(pct) + "% tx",
            time_ns_per_op(iters,
-                          [&] { net.step_sparse(tx_nodes, tx_pay,
-                                                sparse_out); }),
+                          [&] { net.resolve(tx_nodes, tx_pay,
+                                            sparse_out); }),
            static_cast<double>(std::max<std::size_t>(1, tx_nodes.size())));
   }
 
@@ -128,8 +129,9 @@ RADIOCAST_SCENARIO(throughput, "throughput",
     }
   }
 
-  ctx.emit(t, "simulator kernel throughput on rgg(n=" + std::to_string(n) +
-               ")",
+  ctx.emit(t,
+           "simulator kernel throughput on rgg(n=" + std::to_string(n) +
+               "), medium=" + std::string(radio::to_string(medium)),
            "throughput");
   ctx.note("(timings vary run to run; the Mitems/s column is the "
            "per-kernel budget driver for the E1-E13 scenarios)");

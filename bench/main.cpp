@@ -8,6 +8,7 @@
 // RADIOCAST_SCENARIO registrations in bench/bench_*.cpp); the driver just
 // dispatches the subcommand and owns the shared replication runner.
 #include <algorithm>
+#include <chrono>
 #include <exception>
 #include <iostream>
 #include <string>
@@ -41,8 +42,10 @@ void print_usage(const char* program) {
       << "  --reps=R       replications per sweep point\n"
       << "  --threads=N    worker threads for replications (default 1);\n"
       << "                 results are identical for any N\n"
-      << "  --out=DIR      CSV output directory (default bench_out;\n"
-      << "                 empty string disables CSV)\n";
+      << "  --medium=M     radio backend for medium-aware scenarios:\n"
+      << "                 scalar (default) | bitslice | sharded\n"
+      << "  --out=DIR      CSV/JSON output directory (default bench_out;\n"
+      << "                 empty string disables file output)\n";
 }
 
 }  // namespace
@@ -84,7 +87,14 @@ int main(int argc, char** argv) {
     Runner runner(static_cast<int>(cli.get_int("threads", 1)));
     ScenarioContext ctx(cli, runner);
     if (cli.has("out")) ctx.out_dir = cli.get_string("out", "bench_out");
+    const auto start = std::chrono::steady_clock::now();
     registry.run(cli.subcommand(), ctx);
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    const std::string json_path = ctx.write_json(cli.subcommand(), wall_ms);
+    if (!json_path.empty()) std::cout << "[json] " << json_path << "\n";
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

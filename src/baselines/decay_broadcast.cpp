@@ -74,7 +74,7 @@ DecayBroadcastResult decay_broadcast(const graph::Graph& g,
 
   std::vector<graph::NodeId> tx_nodes;
   std::vector<radio::Payload> tx_payload;
-  radio::Network::SparseOutcome sparse;
+  radio::SparseOutcome sparse;
 
   std::uint64_t round = 0;
   std::uint32_t cycle = 0;       // completed density cycles
@@ -98,7 +98,7 @@ DecayBroadcastResult decay_broadcast(const graph::Graph& g,
         tx_payload.push_back(out.best[v]);
       }
     }
-    net.step_sparse(tx_nodes, tx_payload, sparse);
+    net.resolve(tx_nodes, tx_payload, sparse);
     for (const auto& d : sparse.deliveries) {
       if (out.best[d.node] == radio::kNoPayload ||
           d.payload > out.best[d.node]) {

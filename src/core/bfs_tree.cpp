@@ -43,7 +43,7 @@ BfsTreeResult build_bfs_tree(const graph::Graph& g, std::uint32_t diameter,
   util::Rng rng(util::mix_seed(seed, 0xBF5));
   std::vector<graph::NodeId> tx_nodes;
   std::vector<radio::Payload> tx_payload;
-  radio::Network::SparseOutcome sparse;
+  radio::SparseOutcome sparse;
   const std::uint32_t lambda = schedule::decay_round_length(n);
   // c * log n Decay rounds per phase: each frontier-adjacent node is
   // informed with constant probability per Decay round (Lemma 3.1), so it
@@ -73,7 +73,7 @@ BfsTreeResult build_bfs_tree(const graph::Graph& g, std::uint32_t diameter,
         }
       }
       if (tx_nodes.empty()) continue;
-      net.step_sparse(tx_nodes, tx_payload, sparse);
+      net.resolve(tx_nodes, tx_payload, sparse);
       for (const auto& d : sparse.deliveries) {
         if (out.parent[d.node] != graph::kInvalidNode) continue;
         const auto sender =

@@ -52,7 +52,7 @@ MultiMessageResult multi_message_broadcast(
 
   std::vector<graph::NodeId> tx_nodes;
   std::vector<radio::Payload> tx_payload;
-  radio::Network::SparseOutcome sparse;
+  radio::SparseOutcome sparse;
   std::uint32_t done_nodes = 1;  // the root holds everything already
 
   std::uint64_t round = 0;
@@ -71,7 +71,7 @@ MultiMessageResult multi_message_broadcast(
       ++sent[v];
     }
     if (!tx_nodes.empty()) {
-      net.step_sparse(tx_nodes, tx_payload, sparse);
+      net.resolve(tx_nodes, tx_payload, sparse);
       for (const auto& d : sparse.deliveries) {
         // Accept only from the tree parent (others are overheard noise).
         if (d.from != p.parent[d.node] || d.node == params.root) continue;

@@ -312,7 +312,7 @@ void PropagationEngine::wave_round(std::vector<Payload>& best) {
     }
   } else {
     // ---- colored resolution: the physical medium decides ------------------
-    net_.step_sparse(tx_nodes_, tx_payload_, sparse_out_);
+    net_.resolve(tx_nodes_, tx_payload_, sparse_out_);
     for (std::size_t i = 0; i < tx_nodes_.size(); ++i) {
       tx_at_[tx_nodes_[i]] = round_id_;
     }
@@ -408,7 +408,7 @@ void PropagationEngine::background_round(std::vector<Payload>& best,
   reached_list_.resize(w);
 
   if (!tx_nodes_.empty()) {
-    net_.step_sparse(tx_nodes_, tx_payload_, sparse_out_);
+    net_.resolve(tx_nodes_, tx_payload_, sparse_out_);
     stats_.decay_deliveries += sparse_out_.deliveries.size();
     for (const auto& d : sparse_out_.deliveries) {
       const NodeId v = d.node;

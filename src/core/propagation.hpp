@@ -135,7 +135,7 @@ class PropagationEngine {
 
   std::vector<NodeId> tx_nodes_;
   std::vector<Payload> tx_payload_;
-  radio::Network::SparseOutcome sparse_out_;
+  radio::SparseOutcome sparse_out_;
 
   // decay background clock
   std::uint64_t bg_clock_ = 0;

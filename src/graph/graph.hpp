@@ -34,6 +34,12 @@ class Graph {
     return static_cast<std::uint32_t>(offsets_[v + 1] - offsets_[v]);
   }
 
+  /// The CSR offset array (size n+1): degree_prefix()[v] is the sum of
+  /// degrees of all nodes < v, and degree_prefix()[n] == 2m. Used for
+  /// balanced shard cuts (the sharded radio medium) and any other
+  /// adjacency-volume partitioning.
+  std::span<const std::uint64_t> degree_prefix() const { return offsets_; }
+
   std::uint32_t max_degree() const;
   double average_degree() const;
 

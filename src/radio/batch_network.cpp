@@ -1,0 +1,56 @@
+#include "radio/batch_network.hpp"
+
+#include <stdexcept>
+
+namespace radiocast::radio {
+
+BatchNetwork::BatchNetwork(const graph::Graph& g, int lanes,
+                           CollisionModel model, MediumKind medium)
+    : graph_(&g),
+      model_(model),
+      kind_(medium),
+      lanes_(lanes),
+      medium_(make_medium(medium, g, model)) {
+  if (lanes < 1 || lanes > kMaxLanes) {
+    throw std::invalid_argument("BatchNetwork: lanes out of range");
+  }
+}
+
+void BatchNetwork::step(std::span<const std::uint64_t> tx_mask,
+                        std::span<const Payload> payload, BatchOutcome& out,
+                        bool with_senders) {
+  medium_->resolve_batch(tx_mask, payload, lanes_, out, with_senders);
+  ++rounds_;
+  for (int l = 0; l < lanes_; ++l) {
+    total_tx_[l] += out.transmitter_count[l];
+    total_delivered_[l] += out.delivered_count[l];
+    total_collided_[l] += out.collided_count[l];
+  }
+}
+
+std::uint64_t BatchNetwork::total_transmissions() const {
+  std::uint64_t sum = 0;
+  for (int l = 0; l < lanes_; ++l) sum += total_tx_[l];
+  return sum;
+}
+
+std::uint64_t BatchNetwork::total_deliveries() const {
+  std::uint64_t sum = 0;
+  for (int l = 0; l < lanes_; ++l) sum += total_delivered_[l];
+  return sum;
+}
+
+std::uint64_t BatchNetwork::total_collisions() const {
+  std::uint64_t sum = 0;
+  for (int l = 0; l < lanes_; ++l) sum += total_collided_[l];
+  return sum;
+}
+
+void BatchNetwork::reset_counters() {
+  rounds_ = 0;
+  total_tx_.fill(0);
+  total_delivered_.fill(0);
+  total_collided_.fill(0);
+}
+
+}  // namespace radiocast::radio

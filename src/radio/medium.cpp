@@ -1,0 +1,107 @@
+#include "radio/medium.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "radio/medium_bitslice.hpp"
+#include "radio/medium_scalar.hpp"
+#include "radio/medium_sharded.hpp"
+
+namespace radiocast::radio {
+
+std::string_view to_string(MediumKind kind) {
+  switch (kind) {
+    case MediumKind::kScalar:
+      return "scalar";
+    case MediumKind::kBitslice:
+      return "bitslice";
+    case MediumKind::kSharded:
+      return "sharded";
+  }
+  return "?";
+}
+
+MediumKind parse_medium_kind(std::string_view name) {
+  if (name == "scalar") return MediumKind::kScalar;
+  if (name == "bitslice") return MediumKind::kBitslice;
+  if (name == "sharded") return MediumKind::kSharded;
+  throw std::invalid_argument("unknown medium '" + std::string(name) +
+                              "' (expected scalar, bitslice, or sharded)");
+}
+
+void BatchOutcome::clear() {
+  delivered.clear();
+  deliveries.clear();
+  collisions.clear();
+  transmitter_count.fill(0);
+  delivered_count.fill(0);
+  collided_count.fill(0);
+}
+
+void Medium::resolve_batch(std::span<const std::uint64_t> tx_mask,
+                           std::span<const Payload> payload, int lanes,
+                           BatchOutcome& out, bool with_senders) {
+  const graph::NodeId n = graph_->node_count();
+  if (tx_mask.size() != n || payload.size() != n) {
+    throw std::invalid_argument("Medium::resolve_batch: size mismatch");
+  }
+  if (lanes < 1 || lanes > kMaxLanes) {
+    throw std::invalid_argument("Medium::resolve_batch: lanes out of range");
+  }
+  out.clear();
+  if (agg_mask_.size() != n) {
+    agg_mask_.assign(n, 0);
+    agg_stamp_.assign(n, 0);
+  }
+  ++agg_epoch_;
+  agg_touched_.clear();
+  for (int l = 0; l < lanes; ++l) {
+    lane_tx_.clear();
+    lane_payload_.clear();
+    const std::uint64_t bit = std::uint64_t{1} << l;
+    for (graph::NodeId v = 0; v < n; ++v) {
+      if (tx_mask[v] & bit) {
+        lane_tx_.push_back(v);
+        lane_payload_.push_back(payload[v]);
+      }
+    }
+    resolve(lane_tx_, lane_payload_, lane_out_);
+    out.transmitter_count[l] = lane_out_.transmitter_count;
+    out.collided_count[l] = lane_out_.collided_count;
+    out.delivered_count[l] =
+        static_cast<std::uint32_t>(lane_out_.deliveries.size());
+    for (const auto& d : lane_out_.deliveries) {
+      if (agg_stamp_[d.node] != agg_epoch_) {
+        agg_stamp_[d.node] = agg_epoch_;
+        agg_mask_[d.node] = 0;
+        agg_touched_.push_back(d.node);
+      }
+      agg_mask_[d.node] |= bit;
+      if (with_senders) {
+        out.deliveries.push_back(
+            {d.node, static_cast<std::uint8_t>(l), d.from, d.payload});
+      }
+    }
+    for (const graph::NodeId v : lane_out_.collided_nodes) {
+      out.collisions.push_back({v, bit});
+    }
+  }
+  for (const graph::NodeId v : agg_touched_) {
+    out.delivered.push_back({v, agg_mask_[v]});
+  }
+}
+
+std::unique_ptr<Medium> make_medium(MediumKind kind, const graph::Graph& g,
+                                    CollisionModel model, int threads) {
+  switch (kind) {
+    case MediumKind::kScalar:
+      return std::make_unique<ScalarMedium>(g, model);
+    case MediumKind::kBitslice:
+      return std::make_unique<BitsliceMedium>(g, model);
+    case MediumKind::kSharded:
+      return std::make_unique<ShardedMedium>(g, model, threads);
+  }
+  throw std::invalid_argument("make_medium: bad MediumKind");
+}
+
+}  // namespace radiocast::radio

@@ -1,0 +1,179 @@
+// Pluggable interference-resolution backends for the synchronous radio
+// medium.
+//
+// Medium is the seam between protocol logic and the collision kernel:
+// every round a transmitter set goes in and the successful receptions
+// (plus collision evidence) come out. Three backends implement it:
+//
+//   scalar   — epoch-stamped reference kernel; resolve() adaptively picks a
+//              frontier (transmitter-scatter) or dense (full-array) path
+//              from the transmitter density
+//   bitslice — 64-replication-wide batch kernel: per-listener ">=1 tx" and
+//              ">=2 tx" bitplanes updated with bitwise saturating adds, so
+//              one CSR traversal resolves a round for up to 64 independent
+//              Monte-Carlo lanes at once
+//   sharded  — thread-pooled kernel that cuts the listener space into
+//              contiguous CSR shards (balanced by the degree prefix sum)
+//              and resolves them in parallel with a deterministic merge
+//
+// All backends implement identical interference semantics — the
+// cross-backend differential test (tests/test_medium_backends.cpp) holds
+// them to it on random instances under both collision models. Determinism
+// guarantees: for a fixed backend and input, the outcome is always
+// byte-identical (the sharded backend's merge is ordered by shard index,
+// independent of OS scheduling). Delivery order within an outcome is
+// "first touch" order for scalar/bitslice and shard-major first-touch
+// order for sharded; consumers must not depend on it beyond determinism.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "radio/model.hpp"
+
+namespace radiocast::radio {
+
+/// One successful reception in a round.
+struct SparseDelivery {
+  graph::NodeId node;  // the listener
+  graph::NodeId from;  // the unique transmitting neighbour
+  Payload payload;
+
+  bool operator==(const SparseDelivery&) const = default;
+};
+
+/// Round outcome in sparse form: only the nodes that received (or, under
+/// collision detection, detectably collided) are listed.
+struct SparseOutcome {
+  std::vector<SparseDelivery> deliveries;
+  /// Listeners that perceived >= 2 transmitting neighbours. Filled only
+  /// under CollisionModel::kDetection — mirroring Reception::kCollision on
+  /// the dense path — since without detection a collision is
+  /// indistinguishable from silence and must not leak to protocols.
+  std::vector<graph::NodeId> collided_nodes;
+  std::uint32_t transmitter_count = 0;
+  std::uint32_t collided_count = 0;
+};
+
+/// Which backend resolves interference. kScalar is the reference; the
+/// others trade generality for throughput (see the file comment).
+enum class MediumKind : std::uint8_t { kScalar, kBitslice, kSharded };
+
+std::string_view to_string(MediumKind kind);
+/// Parses "scalar" | "bitslice" | "sharded"; throws std::invalid_argument
+/// otherwise (message lists the legal values).
+MediumKind parse_medium_kind(std::string_view name);
+
+/// Lane capacity of the batch entry point (width of the bitplane words).
+constexpr int kMaxLanes = 64;
+
+/// One successful reception in one lane of a batched round.
+struct BatchDelivery {
+  graph::NodeId node;
+  std::uint8_t lane;
+  graph::NodeId from;
+  Payload payload;
+
+  bool operator==(const BatchDelivery&) const = default;
+};
+
+/// Aggregate view of one listener's receptions: the lane set in which it
+/// had exactly one transmitting neighbour. The bit-sliced counterpart of
+/// SparseDelivery — 64 lanes of delivery evidence in one word.
+struct BatchDeliveredMask {
+  graph::NodeId node;
+  std::uint64_t lanes;
+
+  bool operator==(const BatchDeliveredMask&) const = default;
+};
+
+/// Listener that detectably collided, with the lane set it collided in.
+/// Entries for the same node may be split across several records (the
+/// per-lane fallback emits one per lane); consumers should OR the masks.
+struct BatchCollision {
+  graph::NodeId node;
+  std::uint64_t lanes;
+};
+
+/// Outcome of one batched round across up to kMaxLanes lanes.
+struct BatchOutcome {
+  /// Always filled: one entry per listener that received in >= 1 lane.
+  /// Listeners appear at most once; entries cover every delivery.
+  std::vector<BatchDeliveredMask> delivered;
+  /// Per-delivery sender + payload detail. Filled only when resolve_batch
+  /// runs with_senders — recovering the unique sender costs an extra row
+  /// scan per delivered listener, which mask-only consumers (Monte-Carlo
+  /// counting, flood frontiers) don't want to pay.
+  std::vector<BatchDelivery> deliveries;
+  /// Filled only under CollisionModel::kDetection (see SparseOutcome).
+  std::vector<BatchCollision> collisions;
+  std::array<std::uint32_t, kMaxLanes> transmitter_count{};
+  std::array<std::uint32_t, kMaxLanes> delivered_count{};
+  std::array<std::uint32_t, kMaxLanes> collided_count{};
+
+  void clear();
+};
+
+/// Interference-resolution backend interface. Implementations own their
+/// scratch state (so they are not thread-safe per instance, matching the
+/// old Network) and alias the graph — the graph must outlive the medium.
+class Medium {
+ public:
+  Medium(const graph::Graph& g, CollisionModel model)
+      : graph_(&g), model_(model) {}
+  virtual ~Medium() = default;
+  Medium(const Medium&) = delete;
+  Medium& operator=(const Medium&) = delete;
+
+  virtual std::string_view name() const = 0;
+  const graph::Graph& topology() const { return *graph_; }
+  CollisionModel collision_model() const { return model_; }
+
+  /// Unified single-instance entry point: resolves one round given only
+  /// the transmitter list (everyone else listens). Duplicate transmitters
+  /// are counted once (first occurrence's payload wins); transmitters are
+  /// half-duplex and never receive. Overwrites `out`. Counters are the
+  /// caller's job (Network aggregates across rounds).
+  virtual void resolve(std::span<const graph::NodeId> transmitters,
+                       std::span<const Payload> tx_payload,
+                       SparseOutcome& out) = 0;
+
+  /// Batched entry point: bit l of tx_mask[v] says whether v transmits in
+  /// replication lane l (bits >= `lanes` are ignored); payload[v] is what
+  /// v sends, identical in every lane it transmits in (the contract of
+  /// broadcast/leader-election workloads, where a node relays one held
+  /// value). `with_senders` opts into the per-delivery sender/payload
+  /// detail (out.deliveries); the aggregate delivered masks and all
+  /// counters are produced either way. The default implementation
+  /// decomposes into per-lane resolve() calls; the bitslice backend
+  /// overrides it with the one-traversal bitplane kernel.
+  virtual void resolve_batch(std::span<const std::uint64_t> tx_mask,
+                             std::span<const Payload> payload, int lanes,
+                             BatchOutcome& out, bool with_senders = true);
+
+ protected:
+  const graph::Graph* graph_;
+  CollisionModel model_;
+
+ private:
+  // Scratch for the default per-lane resolve_batch decomposition.
+  std::vector<graph::NodeId> lane_tx_;
+  std::vector<Payload> lane_payload_;
+  std::vector<std::uint64_t> agg_mask_;
+  std::vector<std::uint64_t> agg_stamp_;
+  std::vector<graph::NodeId> agg_touched_;
+  std::uint64_t agg_epoch_ = 0;
+  SparseOutcome lane_out_;
+};
+
+/// Factory. `threads` only matters for kSharded: the shard/worker count,
+/// 0 meaning a hardware-derived default.
+std::unique_ptr<Medium> make_medium(MediumKind kind, const graph::Graph& g,
+                                    CollisionModel model, int threads = 0);
+
+}  // namespace radiocast::radio

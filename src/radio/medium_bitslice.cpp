@@ -1,0 +1,193 @@
+#include "radio/medium_bitslice.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace radiocast::radio {
+
+BitsliceMedium::BitsliceMedium(const graph::Graph& g, CollisionModel model)
+    : Medium(g, model) {
+  const auto n = g.node_count();
+  planes_.assign(n, Planes{});
+  touched_.reserve(n);
+  mask1_.assign(n, 0);
+  payload1_.assign(n, kNoPayload);
+}
+
+void BitsliceMedium::resolve_batch(std::span<const std::uint64_t> tx_mask,
+                                   std::span<const Payload> payload,
+                                   int lanes, BatchOutcome& out,
+                                   bool with_senders) {
+  const graph::NodeId n = graph_->node_count();
+  if (tx_mask.size() != n || payload.size() != n) {
+    throw std::invalid_argument("BitsliceMedium::resolve_batch: size mismatch");
+  }
+  if (lanes < 1 || lanes > kMaxLanes) {
+    throw std::invalid_argument(
+        "BitsliceMedium::resolve_batch: lanes out of range");
+  }
+  const std::uint64_t lane_mask =
+      lanes == kMaxLanes ? ~std::uint64_t{0}
+                         : (std::uint64_t{1} << lanes) - 1;
+  out.clear();
+  tx_tally_.reset();
+  delivered_tally_.reset();
+  collided_tally_.reset();
+
+  // Prologue: per-lane transmitter tallies plus the traversal-volume
+  // estimate that picks the dense or frontier output path below.
+  std::uint64_t work = 0;
+  for (graph::NodeId u = 0; u < n; ++u) {
+    const std::uint64_t m = tx_mask[u] & lane_mask;
+    if (m == 0) continue;
+    tx_tally_.add(m);
+    work += graph_->degree(u);
+  }
+  tx_tally_.extract(out.transmitter_count, lanes);
+  const bool dense = 2 * work >= n;
+  // When transmitters cover at least half of all adjacency, flip the
+  // traversal to a listener-centric gather: both planes accumulate in
+  // registers, so the planes array (and its output scan and re-zeroing)
+  // is bypassed entirely.
+  const bool gather = work >= graph_->edge_count();
+
+  auto emit_masks = [&](const graph::NodeId v, const std::uint64_t one,
+                        const std::uint64_t two) {
+    const std::uint64_t not_tx = ~tx_mask[v];
+    const std::uint64_t win = one & ~two & not_tx;
+    const std::uint64_t coll = two & not_tx & lane_mask;
+    if (win != 0) {
+      out.delivered.push_back({v, win});
+      delivered_tally_.add(win);
+    }
+    if (coll != 0) {
+      if (model_ == CollisionModel::kDetection) {
+        out.collisions.push_back({v, coll});
+      }
+      collided_tally_.add(coll);
+    }
+  };
+
+  if (gather) {
+    for (graph::NodeId v = 0; v < n; ++v) {
+      std::uint64_t one = 0;
+      std::uint64_t two = 0;
+      for (const graph::NodeId u : graph_->neighbors(v)) {
+        const std::uint64_t m = tx_mask[u] & lane_mask;
+        two |= one & m;
+        one |= m;
+      }
+      if (one != 0) emit_masks(v, one, two);
+    }
+    delivered_tally_.extract(out.delivered_count, lanes);
+    collided_tally_.extract(out.collided_count, lanes);
+    if (with_senders) recover_senders(tx_mask, payload, out);
+    return;
+  }
+
+  // Traversal: bitwise saturating add into the >=1 / >=2 planes. Planes
+  // are all-zero between rounds, so "one == 0" doubles as the untouched
+  // test; on the dense path even that branch is dropped — the output scan
+  // below walks every listener anyway.
+  if (dense) {
+    for (graph::NodeId u = 0; u < n; ++u) {
+      const std::uint64_t m = tx_mask[u] & lane_mask;
+      if (m == 0) continue;
+      for (const graph::NodeId v : graph_->neighbors(u)) {
+        Planes& p = planes_[v];
+        p.two |= p.one & m;
+        p.one |= m;
+      }
+    }
+  } else {
+    touched_.clear();
+    for (graph::NodeId u = 0; u < n; ++u) {
+      const std::uint64_t m = tx_mask[u] & lane_mask;
+      if (m == 0) continue;
+      for (const graph::NodeId v : graph_->neighbors(u)) {
+        Planes& p = planes_[v];
+        if (p.one == 0) touched_.push_back(v);
+        p.two |= p.one & m;
+        p.one |= m;
+      }
+    }
+  }
+
+  // Output: a lane delivers iff exactly one neighbour transmitted and the
+  // listener was silent — pure bitplane arithmetic, one delivered-mask
+  // push per winning listener no matter how many lanes it won. The plane
+  // re-zeroing (the next round's invariant) is fused into the same sweep:
+  // a dense sequential pass, or the touched list alone when sparse.
+  if (dense) {
+    for (graph::NodeId v = 0; v < n; ++v) {
+      Planes& p = planes_[v];
+      if (p.one == 0) continue;
+      emit_masks(v, p.one, p.two);
+      p = Planes{};
+    }
+  } else {
+    for (const graph::NodeId v : touched_) {
+      Planes& p = planes_[v];
+      emit_masks(v, p.one, p.two);
+      p = Planes{};
+    }
+  }
+  delivered_tally_.extract(out.delivered_count, lanes);
+  collided_tally_.extract(out.collided_count, lanes);
+  if (with_senders) recover_senders(tx_mask, payload, out);
+}
+
+// Sender recovery on demand: scan each winning listener's row, clearing
+// won lanes as their unique senders are found, so every row is visited at
+// most once and only for listeners that actually won a lane.
+void BitsliceMedium::recover_senders(std::span<const std::uint64_t> tx_mask,
+                                     std::span<const Payload> payload,
+                                     BatchOutcome& out) const {
+  for (const auto& dm : out.delivered) {
+    std::uint64_t win = dm.lanes;
+    for (const graph::NodeId u : graph_->neighbors(dm.node)) {
+      std::uint64_t hit = win & tx_mask[u];
+      if (hit == 0) continue;
+      const Payload pay = payload[u];
+      win &= ~hit;
+      do {
+        out.deliveries.push_back(
+            {dm.node, static_cast<std::uint8_t>(std::countr_zero(hit)), u,
+             pay});
+        hit &= hit - 1;
+      } while (hit != 0);
+      if (win == 0) break;
+    }
+  }
+}
+
+void BitsliceMedium::resolve(std::span<const graph::NodeId> transmitters,
+                             std::span<const Payload> tx_payload,
+                             SparseOutcome& out) {
+  if (transmitters.size() != tx_payload.size()) {
+    throw std::invalid_argument("BitsliceMedium::resolve: size mismatch");
+  }
+  // Materialise a one-lane mask; cleared sparsely afterwards so repeated
+  // rounds stay proportional to the transmitter set.
+  for (std::size_t i = 0; i < transmitters.size(); ++i) {
+    const graph::NodeId u = transmitters[i];
+    if (mask1_[u] != 0) continue;  // duplicate: first payload wins
+    mask1_[u] = 1;
+    payload1_[u] = tx_payload[i];
+  }
+  resolve_batch(mask1_, payload1_, 1, batch_out_);
+  for (const graph::NodeId u : transmitters) mask1_[u] = 0;
+
+  out.deliveries.clear();
+  out.collided_nodes.clear();
+  out.transmitter_count = batch_out_.transmitter_count[0];
+  out.collided_count = batch_out_.collided_count[0];
+  for (const auto& d : batch_out_.deliveries) {
+    out.deliveries.push_back({d.node, d.from, d.payload});
+  }
+  for (const auto& c : batch_out_.collisions) {
+    out.collided_nodes.push_back(c.node);
+  }
+}
+
+}  // namespace radiocast::radio

@@ -1,0 +1,106 @@
+#include "radio/medium_scalar.hpp"
+
+#include <stdexcept>
+
+namespace radiocast::radio {
+
+ScalarMedium::ScalarMedium(const graph::Graph& g, CollisionModel model)
+    : Medium(g, model) {
+  const auto n = g.node_count();
+  payload_of_.assign(n, kNoPayload);
+  tx_stamp_.assign(n, 0);
+  tx_count_.assign(n, 0);
+  pending_payload_.assign(n, kNoPayload);
+  tx_from_.assign(n, graph::kInvalidNode);
+  stamp_.assign(n, 0);
+  touched_.reserve(n);
+}
+
+void ScalarMedium::resolve(std::span<const graph::NodeId> transmitters,
+                           std::span<const Payload> tx_payload,
+                           SparseOutcome& out) {
+  if (transmitters.size() != tx_payload.size()) {
+    throw std::invalid_argument("ScalarMedium::resolve: size mismatch");
+  }
+  out.deliveries.clear();
+  out.collided_nodes.clear();
+  out.transmitter_count = 0;
+  out.collided_count = 0;
+
+  ++epoch_;
+  txlist_.clear();
+  std::uint64_t work = 0;
+  for (std::size_t i = 0; i < transmitters.size(); ++i) {
+    const graph::NodeId u = transmitters[i];
+    if (tx_stamp_[u] == epoch_) continue;  // duplicate entry: process once
+    tx_stamp_[u] = epoch_;
+    payload_of_[u] = tx_payload[i];
+    txlist_.push_back(u);
+    work += graph_->degree(u);
+  }
+  out.transmitter_count = static_cast<std::uint32_t>(txlist_.size());
+
+  const graph::NodeId n = graph_->node_count();
+  if (2 * work >= n) {
+    resolve_dense(out);
+  } else {
+    resolve_frontier(out);
+  }
+}
+
+void ScalarMedium::resolve_frontier(SparseOutcome& out) {
+  touched_.clear();
+  for (const graph::NodeId u : txlist_) {
+    const Payload p = payload_of_[u];
+    for (const graph::NodeId v : graph_->neighbors(u)) {
+      if (stamp_[v] != epoch_) {
+        stamp_[v] = epoch_;
+        tx_count_[v] = 0;
+        touched_.push_back(v);
+      }
+      ++tx_count_[v];
+      pending_payload_[v] = p;
+      tx_from_[v] = u;
+    }
+  }
+  for (const graph::NodeId v : touched_) {
+    if (tx_stamp_[v] == epoch_) continue;  // half-duplex
+    if (tx_count_[v] == 1) {
+      out.deliveries.push_back({v, tx_from_[v], pending_payload_[v]});
+    } else {
+      ++out.collided_count;
+      if (model_ == CollisionModel::kDetection) {
+        out.collided_nodes.push_back(v);
+      }
+    }
+  }
+}
+
+void ScalarMedium::resolve_dense(SparseOutcome& out) {
+  const graph::NodeId n = graph_->node_count();
+  dense_count_.assign(n, 0);
+  for (const graph::NodeId u : txlist_) {
+    for (const graph::NodeId v : graph_->neighbors(u)) ++dense_count_[v];
+  }
+  // A delivered listener has exactly one transmitting neighbour, so this
+  // second traversal emits it exactly once — and in the same first-touch
+  // order the frontier path produces.
+  for (const graph::NodeId u : txlist_) {
+    const Payload p = payload_of_[u];
+    for (const graph::NodeId v : graph_->neighbors(u)) {
+      if (dense_count_[v] == 1 && tx_stamp_[v] != epoch_) {
+        out.deliveries.push_back({v, u, p});
+      }
+    }
+  }
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (dense_count_[v] >= 2 && tx_stamp_[v] != epoch_) {
+      ++out.collided_count;
+      if (model_ == CollisionModel::kDetection) {
+        out.collided_nodes.push_back(v);
+      }
+    }
+  }
+}
+
+}  // namespace radiocast::radio

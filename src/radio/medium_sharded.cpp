@@ -1,0 +1,201 @@
+#include "radio/medium_sharded.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace radiocast::radio {
+
+namespace {
+
+int default_threads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return static_cast<int>(std::clamp(hw, 1u, 8u));
+}
+
+}  // namespace
+
+ShardedMedium::ShardedMedium(const graph::Graph& g, CollisionModel model,
+                             int threads)
+    : Medium(g, model) {
+  const graph::NodeId n = g.node_count();
+  tx_stamp_.assign(n, 0);
+  payload_of_.assign(n, kNoPayload);
+  stamp_.assign(n, 0);
+  tx_count_.assign(n, 0);
+  tx_from_.assign(n, graph::kInvalidNode);
+  pending_payload_.assign(n, kNoPayload);
+
+  int want = threads == 0 ? default_threads() : std::max(1, threads);
+  want = std::min<int>(want, std::max<graph::NodeId>(1, n));
+
+  // Cut the listener space so every shard owns ~the same adjacency volume
+  // (degree_prefix is the CSR offset array: offsets[v] = sum of degrees of
+  // nodes < v).
+  const auto prefix = g.degree_prefix();
+  const std::uint64_t total = n == 0 ? 0 : prefix[n];
+  shards_.resize(static_cast<std::size_t>(want));
+  graph::NodeId cut = 0;
+  for (int s = 0; s < want; ++s) {
+    shards_[s].lo = cut;
+    if (s + 1 == want) {
+      cut = n;
+    } else {
+      const std::uint64_t target =
+          total * static_cast<std::uint64_t>(s + 1) / want;
+      const auto it =
+          std::lower_bound(prefix.begin(), prefix.end(), target);
+      cut = std::max(cut, static_cast<graph::NodeId>(
+                              std::min<std::ptrdiff_t>(it - prefix.begin(),
+                                                       n)));
+    }
+    shards_[s].hi = cut;
+  }
+
+  if (want > 1) {
+    workers_.reserve(static_cast<std::size_t>(want));
+    for (int w = 0; w < want; ++w) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+}
+
+ShardedMedium::~ShardedMedium() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& t : workers_) t.join();
+}
+
+void ShardedMedium::worker_loop() {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_work_.wait(lock, [&] { return stop_ || job_gen_ != seen; });
+    if (stop_) return;
+    seen = job_gen_;
+    while (next_shard_ < shards_.size()) {
+      Shard& shard = shards_[next_shard_++];
+      const bool dense = dense_round_;
+      lock.unlock();
+      run_shard(shard, dense);
+      lock.lock();
+    }
+    if (++done_workers_ == workers_.size()) cv_done_.notify_one();
+  }
+}
+
+void ShardedMedium::run_shard(Shard& shard, bool dense) {
+  shard.deliveries.clear();
+  shard.collided.clear();
+  shard.collided_count = 0;
+  if (dense) {
+    // Listener-centric gather: scan my listeners' rows against the
+    // transmitter stamps; early-exit once a collision is certain.
+    for (graph::NodeId v = shard.lo; v < shard.hi; ++v) {
+      if (tx_stamp_[v] == epoch_) continue;  // half-duplex
+      std::uint32_t count = 0;
+      graph::NodeId from = graph::kInvalidNode;
+      for (const graph::NodeId u : graph_->neighbors(v)) {
+        if (tx_stamp_[u] != epoch_) continue;
+        from = u;
+        if (++count >= 2) break;
+      }
+      if (count == 1) {
+        shard.deliveries.push_back({v, from, payload_of_[from]});
+      } else if (count >= 2) {
+        ++shard.collided_count;
+        if (model_ == CollisionModel::kDetection) {
+          shard.collided.push_back(v);
+        }
+      }
+    }
+    return;
+  }
+  // Frontier: intersect each transmitter's row with my listener interval.
+  shard.touched.clear();
+  for (const graph::NodeId u : txlist_) {
+    const auto row = graph_->neighbors(u);
+    const Payload p = payload_of_[u];
+    auto it = std::lower_bound(row.begin(), row.end(), shard.lo);
+    for (; it != row.end() && *it < shard.hi; ++it) {
+      const graph::NodeId v = *it;
+      if (stamp_[v] != epoch_) {
+        stamp_[v] = epoch_;
+        tx_count_[v] = 0;
+        shard.touched.push_back(v);
+      }
+      ++tx_count_[v];
+      pending_payload_[v] = p;
+      tx_from_[v] = u;
+    }
+  }
+  for (const graph::NodeId v : shard.touched) {
+    if (tx_stamp_[v] == epoch_) continue;
+    if (tx_count_[v] == 1) {
+      shard.deliveries.push_back({v, tx_from_[v], pending_payload_[v]});
+    } else {
+      ++shard.collided_count;
+      if (model_ == CollisionModel::kDetection) {
+        shard.collided.push_back(v);
+      }
+    }
+  }
+}
+
+void ShardedMedium::resolve(std::span<const graph::NodeId> transmitters,
+                            std::span<const Payload> tx_payload,
+                            SparseOutcome& out) {
+  if (transmitters.size() != tx_payload.size()) {
+    throw std::invalid_argument("ShardedMedium::resolve: size mismatch");
+  }
+  out.deliveries.clear();
+  out.collided_nodes.clear();
+  out.transmitter_count = 0;
+  out.collided_count = 0;
+
+  ++epoch_;
+  txlist_.clear();
+  std::uint64_t work = 0;
+  for (std::size_t i = 0; i < transmitters.size(); ++i) {
+    const graph::NodeId u = transmitters[i];
+    if (tx_stamp_[u] == epoch_) continue;
+    tx_stamp_[u] = epoch_;
+    payload_of_[u] = tx_payload[i];
+    txlist_.push_back(u);
+    work += graph_->degree(u);
+  }
+  out.transmitter_count = static_cast<std::uint32_t>(txlist_.size());
+  // The dense gather scans every listener's full row (2m edge visits in
+  // total), so it only beats the frontier's sum-of-transmitter-degrees
+  // scatter once transmitters cover at least half of all adjacency.
+  const bool dense = work >= graph_->edge_count();
+
+  if (workers_.empty()) {
+    for (auto& shard : shards_) run_shard(shard, dense);
+  } else {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      next_shard_ = 0;
+      done_workers_ = 0;
+      dense_round_ = dense;
+      ++job_gen_;
+    }
+    cv_work_.notify_all();
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [&] { return done_workers_ == workers_.size(); });
+  }
+
+  // Deterministic merge: shard-index order, regardless of which worker ran
+  // which shard.
+  for (const auto& shard : shards_) {
+    out.deliveries.insert(out.deliveries.end(), shard.deliveries.begin(),
+                          shard.deliveries.end());
+    out.collided_nodes.insert(out.collided_nodes.end(),
+                              shard.collided.begin(), shard.collided.end());
+    out.collided_count += shard.collided_count;
+  }
+}
+
+}  // namespace radiocast::radio

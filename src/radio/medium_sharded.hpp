@@ -1,0 +1,80 @@
+// Sharded parallel backend: partitions the listener space into contiguous
+// CSR shards and resolves one round's receptions shard-by-shard across a
+// persistent worker pool.
+//
+// Shard cuts are chosen once, from the graph's degree prefix sum, so each
+// shard owns roughly the same adjacency volume. Listener-indexed scratch
+// (stamps, counts, pending payloads) is disjoint across shards, so workers
+// share the arrays without synchronisation; per-shard outputs are merged
+// in shard-index order, making the outcome byte-identical no matter how
+// the OS schedules the workers. Like the scalar backend, each round
+// adaptively picks a transmitter-centric frontier path (rows intersected
+// with the shard interval by binary search) or a listener-centric dense
+// gather (scan your own listeners' rows, early-exit at two transmitters).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "radio/medium.hpp"
+
+namespace radiocast::radio {
+
+class ShardedMedium final : public Medium {
+ public:
+  /// `threads` is the shard/worker count; 0 picks a hardware-derived
+  /// default. The shard layout is fixed at construction, so results are a
+  /// pure function of (graph, model, threads, input).
+  ShardedMedium(const graph::Graph& g, CollisionModel model, int threads = 0);
+  ~ShardedMedium() override;
+
+  std::string_view name() const override { return "sharded"; }
+  int shard_count() const { return static_cast<int>(shards_.size()); }
+
+  void resolve(std::span<const graph::NodeId> transmitters,
+               std::span<const Payload> tx_payload,
+               SparseOutcome& out) override;
+
+ private:
+  struct Shard {
+    graph::NodeId lo = 0;  // listener interval [lo, hi)
+    graph::NodeId hi = 0;
+    std::vector<SparseDelivery> deliveries;
+    std::vector<graph::NodeId> collided;
+    std::uint32_t collided_count = 0;
+    std::vector<graph::NodeId> touched;
+  };
+
+  void run_shard(Shard& shard, bool dense);
+  void worker_loop();
+
+  std::vector<Shard> shards_;
+
+  // Round state, written serially before the parallel phase.
+  std::vector<graph::NodeId> txlist_;
+  std::vector<std::uint64_t> tx_stamp_;
+  std::vector<Payload> payload_of_;
+  std::vector<std::uint64_t> stamp_;
+  std::vector<std::uint32_t> tx_count_;
+  std::vector<graph::NodeId> tx_from_;
+  std::vector<Payload> pending_payload_;
+  std::uint64_t epoch_ = 0;
+  bool dense_round_ = false;
+
+  // Pool synchronisation: resolve() bumps job_gen_ and waits until every
+  // worker has drained the shard queue for that generation.
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_done_;
+  std::uint64_t job_gen_ = 0;
+  std::size_t next_shard_ = 0;
+  std::size_t done_workers_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace radiocast::radio

@@ -1,17 +1,30 @@
 #include "radio/network.hpp"
 
-#include <cassert>
 #include <stdexcept>
 
 namespace radiocast::radio {
 
-Network::Network(const graph::Graph& g, CollisionModel model)
-    : graph_(&g), model_(model) {
-  const auto n = g.node_count();
-  tx_count_.assign(n, 0);
-  pending_payload_.assign(n, kNoPayload);
-  stamp_.assign(n, 0);
-  touched_.reserve(n);
+Network::Network(const graph::Graph& g, CollisionModel model,
+                 MediumKind medium, int medium_threads)
+    : graph_(&g),
+      model_(model),
+      kind_(medium),
+      medium_(make_medium(medium, g, model, medium_threads)) {}
+
+void Network::resolve(std::span<const graph::NodeId> transmitters,
+                      std::span<const Payload> tx_payload,
+                      SparseOutcome& out) {
+  medium_->resolve(transmitters, tx_payload, out);
+  ++rounds_;
+  total_tx_ += out.transmitter_count;
+  total_delivered_ += out.deliveries.size();
+  total_collided_ += out.collided_count;
+}
+
+void Network::step_sparse(const std::vector<graph::NodeId>& transmitters,
+                          const std::vector<Payload>& tx_payload,
+                          SparseOutcome& out) {
+  resolve(transmitters, tx_payload, out);
 }
 
 void Network::step(const std::vector<std::uint8_t>& transmit,
@@ -20,51 +33,31 @@ void Network::step(const std::vector<std::uint8_t>& transmit,
   if (transmit.size() != n || payload.size() != n) {
     throw std::invalid_argument("Network::step: vector size mismatch");
   }
+  tx_nodes_.clear();
+  tx_payload_.clear();
+  for (graph::NodeId u = 0; u < n; ++u) {
+    if (transmit[u]) {
+      tx_nodes_.push_back(u);
+      tx_payload_.push_back(payload[u]);
+    }
+  }
+  resolve(tx_nodes_, tx_payload_, sparse_scratch_);
+
   out.reception.assign(n, Reception::kSilence);
   out.received_payload.assign(n, kNoPayload);
-  out.transmitter_count = 0;
-  out.delivered_count = 0;
-  out.collided_count = 0;
-
-  ++epoch_;
-  touched_.clear();
-
-  // Pass 1: accumulate per-listener transmitter counts.
-  for (graph::NodeId u = 0; u < n; ++u) {
-    if (!transmit[u]) continue;
-    ++out.transmitter_count;
-    for (graph::NodeId v : graph_->neighbors(u)) {
-      if (stamp_[v] != epoch_) {
-        stamp_[v] = epoch_;
-        tx_count_[v] = 0;
-        pending_payload_[v] = kNoPayload;
-        touched_.push_back(v);
-      }
-      ++tx_count_[v];
-      pending_payload_[v] = payload[u];
-    }
+  out.transmitter_count = sparse_scratch_.transmitter_count;
+  out.delivered_count =
+      static_cast<std::uint32_t>(sparse_scratch_.deliveries.size());
+  out.collided_count = sparse_scratch_.collided_count;
+  for (const auto& d : sparse_scratch_.deliveries) {
+    out.reception[d.node] = Reception::kMessage;
+    out.received_payload[d.node] = d.payload;
   }
-
-  // Pass 2: resolve receptions at touched listeners. Transmitters are
-  // half-duplex: they never receive, regardless of neighbours.
-  for (graph::NodeId v : touched_) {
-    if (transmit[v]) continue;
-    if (tx_count_[v] == 1) {
-      out.reception[v] = Reception::kMessage;
-      out.received_payload[v] = pending_payload_[v];
-      ++out.delivered_count;
-    } else if (tx_count_[v] >= 2) {
-      ++out.collided_count;
-      out.reception[v] = model_ == CollisionModel::kDetection
-                             ? Reception::kCollision
-                             : Reception::kSilence;
-    }
+  // Without detection a collision reads as silence; collided_nodes is only
+  // populated in the detection model, mirroring the enum's contract.
+  for (const graph::NodeId v : sparse_scratch_.collided_nodes) {
+    out.reception[v] = Reception::kCollision;
   }
-
-  ++rounds_;
-  total_tx_ += out.transmitter_count;
-  total_delivered_ += out.delivered_count;
-  total_collided_ += out.collided_count;
 }
 
 RoundOutcome Network::step(const std::vector<std::uint8_t>& transmit,
@@ -72,54 +65,6 @@ RoundOutcome Network::step(const std::vector<std::uint8_t>& transmit,
   RoundOutcome out;
   step(transmit, payload, out);
   return out;
-}
-
-void Network::step_sparse(const std::vector<graph::NodeId>& transmitters,
-                          const std::vector<Payload>& tx_payload,
-                          SparseOutcome& out) {
-  if (transmitters.size() != tx_payload.size()) {
-    throw std::invalid_argument("Network::step_sparse: size mismatch");
-  }
-  out.deliveries.clear();
-  out.transmitter_count = 0;
-  out.collided_count = 0;
-
-  ++epoch_;
-  touched_.clear();
-  if (tx_stamp_.size() != stamp_.size()) {
-    tx_stamp_.assign(stamp_.size(), 0);
-    tx_from_.assign(stamp_.size(), graph::kInvalidNode);
-  }
-  auto& tx_stamp = tx_stamp_;
-  auto& tx_from = tx_from_;
-  for (std::size_t i = 0; i < transmitters.size(); ++i) {
-    const graph::NodeId u = transmitters[i];
-    if (tx_stamp[u] == epoch_) continue;  // duplicate entry: process once
-    tx_stamp[u] = epoch_;
-    ++out.transmitter_count;
-    for (graph::NodeId v : graph_->neighbors(u)) {
-      if (stamp_[v] != epoch_) {
-        stamp_[v] = epoch_;
-        tx_count_[v] = 0;
-        touched_.push_back(v);
-      }
-      ++tx_count_[v];
-      pending_payload_[v] = tx_payload[i];
-      tx_from[v] = u;
-    }
-  }
-  for (graph::NodeId v : touched_) {
-    if (tx_stamp[v] == epoch_) continue;  // half-duplex
-    if (tx_count_[v] == 1) {
-      out.deliveries.push_back({v, tx_from[v], pending_payload_[v]});
-    } else if (tx_count_[v] >= 2) {
-      ++out.collided_count;
-    }
-  }
-  ++rounds_;
-  total_tx_ += out.transmitter_count;
-  total_delivered_ += out.deliveries.size();
-  total_collided_ += out.collided_count;
 }
 
 void Network::reset_counters() {

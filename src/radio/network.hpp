@@ -1,16 +1,31 @@
 // The synchronous radio medium: resolves one round of transmissions into
 // per-node receptions under the chosen collision model.
 //
-// This is the *only* place where the interference rule is implemented; all
-// algorithms (the paper's and the baselines) go through Network::step, so a
-// correctness bug in collision semantics would affect every experiment
-// identically — and is therefore covered by an exhaustive truth-table test.
+// Network is the facade protocols talk to. The interference rule itself
+// lives behind the pluggable radio::Medium interface (medium.hpp) with
+// scalar / bitslice / sharded backends; Network owns one backend, keeps
+// the cross-round counters, and offers three views of a round:
+//
+//   resolve()     — the unified entry point: transmitter list in, sparse
+//                   outcome out (the backend adaptively picks its dense or
+//                   frontier path from transmitter density)
+//   step()        — dense per-node vectors in/out, for schedule-driven
+//                   callers; a thin adapter over resolve()
+//   step_sparse() — legacy name for resolve(), kept for callers written
+//                   against the pre-backend API
+//
+// A correctness bug in collision semantics would affect every experiment
+// identically — which is why the semantics are pinned by an exhaustive
+// truth-table test plus a cross-backend differential test.
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "radio/medium.hpp"
 #include "radio/model.hpp"
 
 namespace radiocast::radio {
@@ -30,50 +45,52 @@ struct RoundOutcome {
 class Network {
  public:
   explicit Network(const graph::Graph& g,
-                   CollisionModel model = CollisionModel::kNoDetection);
+                   CollisionModel model = CollisionModel::kNoDetection,
+                   MediumKind medium = MediumKind::kScalar,
+                   int medium_threads = 0);
   /// The network aliases the graph; binding a temporary would dangle.
   explicit Network(graph::Graph&& g,
-                   CollisionModel model = CollisionModel::kNoDetection) =
-      delete;
+                   CollisionModel model = CollisionModel::kNoDetection,
+                   MediumKind medium = MediumKind::kScalar,
+                   int medium_threads = 0) = delete;
 
   const graph::Graph& topology() const { return *graph_; }
   CollisionModel collision_model() const { return model_; }
   graph::NodeId node_count() const { return graph_->node_count(); }
+  MediumKind medium_kind() const { return kind_; }
+  Medium& medium() { return *medium_; }
+  const Medium& medium() const { return *medium_; }
 
-  /// Resolves one round. `transmit[v]` says whether v transmits and
-  /// `payload[v]` what it sends (ignored when not transmitting). The
-  /// outcome's vectors are sized to node_count().
-  ///
-  /// Cost: O(sum of degrees of transmitters), allocation-free after the
-  /// first call (scratch buffers are reused; the outcome reuses `out`).
+  /// Legacy nested names; the types now live at namespace scope so the
+  /// Medium interface can use them.
+  using SparseDelivery = radio::SparseDelivery;
+  using SparseOutcome = radio::SparseOutcome;
+
+  /// The unified entry point: resolves one round given only the
+  /// transmitter list (everyone else listens). Duplicates are counted
+  /// once. Cost is O(sum of transmitter degrees) on the sparse path; the
+  /// backend switches to a dense path when most of the graph is active.
+  /// Under CollisionModel::kDetection, out.collided_nodes lists the
+  /// listeners that perceived a collision (matching the dense path's
+  /// Reception::kCollision); without detection it stays empty.
+  void resolve(std::span<const graph::NodeId> transmitters,
+               std::span<const Payload> tx_payload, SparseOutcome& out);
+
+  /// Legacy name for resolve().
+  void step_sparse(const std::vector<graph::NodeId>& transmitters,
+                   const std::vector<Payload>& tx_payload,
+                   SparseOutcome& out);
+
+  /// Resolves one round from dense per-node vectors. `transmit[v]` says
+  /// whether v transmits and `payload[v]` what it sends (ignored when not
+  /// transmitting). The outcome's vectors are sized to node_count().
+  /// Allocation-free after the first call (scratch is reused).
   void step(const std::vector<std::uint8_t>& transmit,
             const std::vector<Payload>& payload, RoundOutcome& out);
 
   /// Convenience allocating overload.
   RoundOutcome step(const std::vector<std::uint8_t>& transmit,
                     const std::vector<Payload>& payload);
-
-  /// One successful reception in a sparse round.
-  struct SparseDelivery {
-    graph::NodeId node;   // the listener
-    graph::NodeId from;   // the unique transmitting neighbour
-    Payload payload;
-  };
-  /// Sparse round outcome: only the nodes that received are listed.
-  struct SparseOutcome {
-    std::vector<SparseDelivery> deliveries;
-    std::uint32_t transmitter_count = 0;
-    std::uint32_t collided_count = 0;
-  };
-
-  /// Resolves one round given only the transmitter list (everyone else
-  /// listens). Cost O(sum of transmitter degrees) — the vectors of the
-  /// dense overload are never touched, so high-round-count algorithm cores
-  /// stay proportional to actual radio activity.
-  /// `transmitters` may contain duplicates (they are counted once).
-  void step_sparse(const std::vector<graph::NodeId>& transmitters,
-                   const std::vector<Payload>& tx_payload,
-                   SparseOutcome& out);
 
   Round rounds_elapsed() const { return rounds_; }
   std::uint64_t total_transmissions() const { return total_tx_; }
@@ -84,20 +101,17 @@ class Network {
  private:
   const graph::Graph* graph_;
   CollisionModel model_;
+  MediumKind kind_;
+  std::unique_ptr<Medium> medium_;
   Round rounds_ = 0;
   std::uint64_t total_tx_ = 0;
   std::uint64_t total_delivered_ = 0;
   std::uint64_t total_collided_ = 0;
 
-  // Epoch-stamped scratch: tx_neighbors_[v] is valid iff stamp_[v]==epoch_.
-  std::vector<std::uint32_t> tx_count_;
-  std::vector<Payload> pending_payload_;
-  std::vector<std::uint64_t> stamp_;
-  std::uint64_t epoch_ = 0;
-  std::vector<graph::NodeId> touched_;
-  // step_sparse scratch: transmitter marks (half-duplex) and last sender.
-  std::vector<std::uint64_t> tx_stamp_;
-  std::vector<graph::NodeId> tx_from_;
+  // step() adapter scratch: the dense vectors flattened to a tx list.
+  std::vector<graph::NodeId> tx_nodes_;
+  std::vector<Payload> tx_payload_;
+  SparseOutcome sparse_scratch_;
 };
 
 }  // namespace radiocast::radio

@@ -23,39 +23,31 @@ std::uint32_t decay_step(radio::Network& net,
                          util::Rng& rng,
                          std::vector<graph::NodeId>* received_from) {
   const graph::NodeId n = net.node_count();
-  static thread_local std::vector<std::uint8_t> transmit;
-  static thread_local std::vector<radio::Payload> payload;
-  transmit.assign(n, 0);
-  payload.assign(n, radio::kNoPayload);
+  static thread_local std::vector<graph::NodeId> tx_nodes;
+  static thread_local std::vector<radio::Payload> tx_payload;
+  static thread_local radio::SparseOutcome out;
+  tx_nodes.clear();
+  tx_payload.clear();
   const double p = decay_probability(step);
   for (graph::NodeId v = 0; v < n; ++v) {
     if (participates[v] && rng.bernoulli(p)) {
-      transmit[v] = 1;
-      payload[v] = payload_of[v];
+      tx_nodes.push_back(v);
+      tx_payload.push_back(payload_of[v]);
     }
   }
-  const radio::RoundOutcome out = net.step(transmit, payload);
+  net.resolve(tx_nodes, tx_payload, out);
   if (received_from != nullptr) {
     received_from->assign(n, graph::kInvalidNode);
   }
-  std::uint32_t delivered = 0;
-  for (graph::NodeId v = 0; v < n; ++v) {
-    if (out.reception[v] != radio::Reception::kMessage) continue;
-    ++delivered;
-    const radio::Payload got = out.received_payload[v];
-    if (best[v] == radio::kNoPayload || got > best[v]) best[v] = got;
-    if (received_from != nullptr) {
-      // The unique transmitting neighbour is recoverable by scanning v's
-      // neighbourhood; with exactly one transmitter this is well-defined.
-      for (graph::NodeId u : net.topology().neighbors(v)) {
-        if (transmit[u]) {
-          (*received_from)[v] = u;
-          break;
-        }
-      }
+  for (const auto& d : out.deliveries) {
+    if (best[d.node] == radio::kNoPayload || d.payload > best[d.node]) {
+      best[d.node] = d.payload;
     }
+    // The sparse outcome names the unique transmitting neighbour directly;
+    // no neighbourhood re-scan needed.
+    if (received_from != nullptr) (*received_from)[d.node] = d.from;
   }
-  return delivered;
+  return static_cast<std::uint32_t>(out.deliveries.size());
 }
 
 std::uint32_t decay_round(radio::Network& net,

@@ -48,6 +48,23 @@ class Runner {
       const std::function<std::vector<double>(int rep, std::uint64_t seed)>&
           body);
 
+  /// Lane-batched replication sweep: groups `reps` into batches of up to
+  /// `lane_width` consecutive replications and invokes `batch_body(first,
+  /// seeds)` once per batch, where seeds[l] is the derived seed of
+  /// replication first + l (the same mix_seed(base_seed, rep) stream
+  /// replicate() uses, so a scenario can switch between the two without
+  /// changing per-replication seeds). Batches are distributed over the
+  /// thread pool; the body returns one metric vector per lane and the
+  /// merge is in replication order, preserving the byte-determinism
+  /// contract. Built for radio::BatchNetwork (lane_width up to 64), but
+  /// any lane_width >= 1 is accepted.
+  std::vector<util::OnlineStats> replicate_batched(
+      int reps, std::uint64_t base_seed, std::size_t metric_count,
+      int lane_width,
+      const std::function<std::vector<std::vector<double>>(
+          int first_rep, const std::vector<std::uint64_t>& seeds)>&
+          batch_body);
+
  private:
   /// Runs task(i) for i in [0, count) over the worker pool; rethrows the
   /// first captured exception after all workers join.

@@ -1,7 +1,11 @@
 #include "sim/scenario.hpp"
 
+#include <algorithm>
+#include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -43,6 +47,106 @@ void ScenarioContext::emit(const util::Table& table, const std::string& title,
 }
 
 void ScenarioContext::note(const std::string& line) { *out << line << "\n"; }
+
+radio::MediumKind ScenarioContext::medium_kind() const {
+  return radio::parse_medium_kind(cli.get_string("medium", "scalar"));
+}
+
+void ScenarioContext::record(ReplicationRecord r) {
+  std::lock_guard<std::mutex> lock(record_mutex_);
+  records_.push_back(std::move(r));
+}
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+std::string json_number(double v) {
+  std::ostringstream os;
+  os.precision(std::numeric_limits<double>::max_digits10);
+  os << v;
+  const std::string s = os.str();
+  // JSON has no NaN/Inf; absent metrics become null.
+  if (s.find("nan") != std::string::npos ||
+      s.find("inf") != std::string::npos) {
+    return "null";
+  }
+  return s;
+}
+
+}  // namespace
+
+std::string ScenarioContext::write_json(const std::string& scenario_name,
+                                        double wall_ms_total) {
+  if (out_dir.empty()) return "";
+  std::vector<ReplicationRecord> records;
+  {
+    std::lock_guard<std::mutex> lock(record_mutex_);
+    records = records_;
+  }
+  std::stable_sort(records.begin(), records.end(),
+                   [](const ReplicationRecord& a, const ReplicationRecord& b) {
+                     return a.label != b.label ? a.label < b.label
+                                               : a.rep < b.rep;
+                   });
+  std::string body = "{\n  \"scenario\": ";
+  append_json_string(body, scenario_name);
+  body += ",\n  \"wall_ms_total\": " + json_number(wall_ms_total);
+  body += ",\n  \"replications\": [";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const auto& r = records[i];
+    body += i == 0 ? "\n" : ",\n";
+    body += "    {\"label\": ";
+    append_json_string(body, r.label);
+    body += ", \"rep\": " + std::to_string(r.rep);
+    body += ", \"rounds\": " + json_number(r.rounds);
+    body += ", \"deliveries\": " + json_number(r.deliveries);
+    body += ", \"wall_ms\": " + json_number(r.wall_ms);
+    body += "}";
+  }
+  body += records.empty() ? "]\n}\n" : "\n  ]\n}\n";
+
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    *out << "[json] cannot create " << out_dir << ": " << ec.message()
+         << "\n";
+    return "";
+  }
+  const std::string path =
+      (std::filesystem::path(out_dir) / (scenario_name + ".json")).string();
+  std::ofstream f(path);
+  if (!f) {
+    *out << "[json] cannot write " << path << "\n";
+    return "";
+  }
+  f << body;
+  return path;
+}
 
 ScenarioRegistry& ScenarioRegistry::global() {
   static ScenarioRegistry registry;

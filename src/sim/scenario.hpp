@@ -13,15 +13,27 @@
 #include <functional>
 #include <iosfwd>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
+#include "radio/medium.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
 namespace radiocast::sim {
 
 class Runner;
+
+/// One replication's machine-readable result, recorded by scenarios that
+/// opt into the JSON perf trajectory (bench_out/<scenario>.json).
+struct ReplicationRecord {
+  std::string label;  // sweep point / backend the replication belongs to
+  int rep = 0;
+  double rounds = 0.0;
+  double deliveries = 0.0;
+  double wall_ms = 0.0;
+};
 
 /// Everything a scenario needs at run time: parsed flags, the shared
 /// replication runner, and the output sinks (stdout stream + CSV dir).
@@ -44,12 +56,31 @@ struct ScenarioContext {
   /// --reps, or the quick/full default.
   int reps(int quick_default, int full_default) const;
 
+  /// --medium flag: which radio backend medium-aware scenarios should
+  /// drive (scalar when absent). Throws on an unknown name.
+  radio::MediumKind medium_kind() const;
+
   /// Prints the table with a title banner and, when out_dir is non-empty,
   /// writes `<out_dir>/<csv_name>.csv` (directories created on demand).
   void emit(const util::Table& table, const std::string& title,
             const std::string& csv_name);
   /// Prints a free-form note line after a table.
   void note(const std::string& line);
+
+  /// Thread-safe: replication bodies running on the Runner pool call this
+  /// to add a row to the scenario's JSON dump.
+  void record(ReplicationRecord r);
+
+  /// Writes `<out_dir>/<scenario>.json` with the driver-measured total
+  /// wall time and all recorded replications (sorted by label then rep, so
+  /// the file is deterministic for any --threads). Called by the driver
+  /// after the scenario returns; no-op returning "" when out_dir is empty.
+  std::string write_json(const std::string& scenario_name,
+                         double wall_ms_total);
+
+ private:
+  std::mutex record_mutex_;
+  std::vector<ReplicationRecord> records_;
 };
 
 using ScenarioFn = std::function<void(ScenarioContext&)>;

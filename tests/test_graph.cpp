@@ -112,6 +112,36 @@ TEST(Graph, DegreeStatistics) {
   EXPECT_DOUBLE_EQ(g.average_degree(), 6.0 / 4.0);
 }
 
+TEST(Graph, DegreePrefixIsTheCsrOffsetArray) {
+  GraphBuilder b(5);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(1, 2);
+  b.add_edge(3, 4);
+  const Graph g = b.build();
+  const auto prefix = g.degree_prefix();
+  ASSERT_EQ(prefix.size(), g.node_count() + 1u);
+  EXPECT_EQ(prefix.front(), 0u);
+  EXPECT_EQ(prefix.back(), 2 * g.edge_count());
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    EXPECT_EQ(prefix[v + 1] - prefix[v], g.degree(v)) << v;
+  }
+}
+
+TEST(Graph, EdgesReservesExactly) {
+  GraphBuilder b(6);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  b.add_edge(4, 5);
+  b.add_edge(1, 2);
+  const Graph g = b.build();
+  const auto edges = g.edges();
+  EXPECT_EQ(edges.size(), g.edge_count());
+  // reserve(edge_count()) means no growth-doubling over-allocation;
+  // reserve may legally round up, so only bound the capacity from below.
+  EXPECT_GE(edges.capacity(), g.edge_count());
+}
+
 TEST(Graph, SummaryMentionsCounts) {
   GraphBuilder b(3);
   b.add_edge(0, 1);
