@@ -97,8 +97,7 @@ std::vector<std::vector<double>> flood_bitslice(
   const double t0 = now_ms();
   const graph::NodeId n = g.node_count();
   const int lanes = static_cast<int>(seeds.size());
-  const std::uint64_t lane_mask =
-      lanes == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << lanes) - 1;
+  const std::uint64_t lane_mask = radio::lane_mask(lanes);
   const std::uint32_t depth = schedule::decay_round_length(n);
   radio::BatchNetwork bn(g, lanes);
   // One stream drives every lane's coins; lanes decouple through the
@@ -213,7 +212,7 @@ RADIOCAST_SCENARIO(medium_backends, "medium-backends",
       const auto stats = ctx.runner.replicate(
           reps, seed, 3, [&](int rep, std::uint64_t rep_seed) {
             auto m = flood_scalar(g, src, reachable, cap, rep_seed);
-            ctx.record({"scalar", rep, m[0], m[1], m[2]});
+            ctx.record({"scalar", rep, m[0], m[1], m[2], "scalar", 1});
             return m;
           });
       scalar_wall = now_ms() - t0;
@@ -227,7 +226,8 @@ RADIOCAST_SCENARIO(medium_backends, "medium-backends",
             auto lanes = flood_bitslice(g, src, reachable, cap, seeds);
             for (std::size_t l = 0; l < lanes.size(); ++l) {
               ctx.record({"bitslice", first_rep + static_cast<int>(l),
-                          lanes[l][0], lanes[l][1], lanes[l][2]});
+                          lanes[l][0], lanes[l][1], lanes[l][2], "bitslice",
+                          static_cast<int>(seeds.size())});
             }
             return lanes;
           });
@@ -247,12 +247,15 @@ RADIOCAST_SCENARIO(medium_backends, "medium-backends",
     const graph::NodeId n = quick ? 20000 : 200000;
     const graph::Graph g = graph::gnp(n, 10.0 / n, grng);
     const int iters = quick ? 20 : 50;
-    // Respect an explicit --threads (including 1); otherwise let the
-    // sharded backend pick its hardware default.
+    // Worker-count precedence: --medium-threads, then an explicit
+    // --threads (including 1), then 0 = the backend default (the
+    // RADIOCAST_SHARD_THREADS env var, else hardware).
     const int threads =
-        ctx.cli.has("threads")
-            ? static_cast<int>(ctx.cli.get_int("threads", 1))
-            : 0;
+        ctx.cli.has("medium-threads")
+            ? ctx.medium_threads()
+            : (ctx.cli.has("threads")
+                   ? static_cast<int>(ctx.cli.get_int("threads", 1))
+                   : 0);
 
     util::Table t({"backend", "tx density", "ns/round", "Mlisteners/s",
                    "speedup"});

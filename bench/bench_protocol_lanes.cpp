@@ -1,0 +1,241 @@
+// Lane-parallel protocol execution: real protocol cores (not synthetic
+// floods) running their Monte-Carlo replications through BatchNetwork
+// lanes vs one scalar Network run per seed.
+//
+// Part 1 — lane-batched Decay. A 64-seed Monte-Carlo of repeated Decay
+// rounds (every node participates, relaying a fixed value) on a Gnp
+// instance: the scalar rows drive the lane-generic decay_round_lanes
+// through a 1-lane Network per seed (sim::Runner::replicate); the lanes
+// rows drive the same code through a 64-lane bitslice BatchNetwork
+// (Runner::replicate_batched), so all seeds share each CSR traversal.
+// Both sides draw the same per-lane coin streams, so the per-seed results
+// are byte-identical (tests/test_protocol_lanes.cpp) and the comparison
+// is pure execution cost. Acceptance bar: lanes >= 4x scalar reps/s.
+//
+// Part 2 — lane-batched broadcast/Compete. The full Decay-relay Compete
+// protocol (core::broadcast_batched / compete_batched): per-lane payload
+// planes carry each lane's own best[] knowledge, lanes terminate on their
+// own clocks, and the batch returns per-seed success/rounds identical to
+// per-seed scalar runs.
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/compete_batched.hpp"
+#include "graph/generators.hpp"
+#include "radio/batch_network.hpp"
+#include "radio/network.hpp"
+#include "schedule/decay.hpp"
+#include "sim/runner.hpp"
+#include "sim/scenario.hpp"
+#include "util/rng.hpp"
+
+using namespace radiocast;
+
+namespace {
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+constexpr radio::Payload kDecayValue = 7;
+
+/// One replication (= one lane batch) of Part 1's Decay workload: all
+/// nodes participate for `cycles` full Decay rounds. Returns one
+/// {rounds, deliveries, wall ms} vector per lane.
+std::vector<std::vector<double>> decay_lanes_body(
+    const graph::Graph& g, radio::LaneExecutor& net, int cycles,
+    const std::vector<std::uint64_t>& seeds) {
+  const double t0 = now_ms();
+  const graph::NodeId n = g.node_count();
+  const int lanes = static_cast<int>(seeds.size());
+  const std::uint64_t lane_mask = radio::lane_mask(lanes);
+  std::vector<util::Rng> rngs;
+  rngs.reserve(seeds.size());
+  for (const std::uint64_t s : seeds) rngs.emplace_back(s);
+  const std::vector<std::uint64_t> participates(n, lane_mask);
+  const std::vector<radio::Payload> payload(n, kDecayValue);
+  std::vector<radio::Payload> best(static_cast<std::size_t>(lanes) * n,
+                                   radio::kNoPayload);
+  radio::BatchOutcome out;
+  std::vector<std::uint64_t> delivered(static_cast<std::size_t>(lanes), 0);
+  const std::uint32_t steps = schedule::decay_round_length(n);
+  for (int c = 0; c < cycles; ++c) {
+    for (std::uint32_t s = 1; s <= steps; ++s) {
+      schedule::decay_step_lanes(net, participates, payload, s, best, rngs,
+                                 out);
+      for (int l = 0; l < lanes; ++l) {
+        delivered[static_cast<std::size_t>(l)] += out.delivered_count[l];
+      }
+    }
+  }
+  const double rounds = static_cast<double>(cycles) * steps;
+  const double wall = now_ms() - t0;
+  std::vector<std::vector<double>> result;
+  result.reserve(seeds.size());
+  for (int l = 0; l < lanes; ++l) {
+    result.push_back({rounds,
+                      static_cast<double>(delivered[static_cast<std::size_t>(l)]),
+                      wall / lanes});
+  }
+  return result;
+}
+
+}  // namespace
+
+RADIOCAST_SCENARIO(protocol_lanes, "protocol-lanes",
+                   "real protocol cores through BatchNetwork lanes: "
+                   "lane-batched Decay and Decay-relay broadcast/Compete "
+                   "vs per-seed scalar execution") {
+  const bool quick = ctx.quick();
+  const std::uint64_t seed = ctx.seed(17);
+  const int reps = ctx.reps(64, 64);
+  // The scalar rows are the per-seed reference; --medium selects the
+  // backend the lane-batched rows run on (bitslice unless overridden).
+  const radio::MediumKind lanes_medium =
+      ctx.cli.has("medium") ? ctx.medium_kind() : radio::MediumKind::kBitslice;
+  const std::string lanes_medium_name{radio::to_string(lanes_medium)};
+
+  auto add_row = [&](util::Table& t, const std::string& label, int reps_n,
+                     const std::vector<util::OnlineStats>& stats, double wall,
+                     double base_wall) {
+    t.row()
+        .add(label)
+        .add(static_cast<double>(reps_n), 0)
+        .add(stats[0].mean(), 1)
+        .add(stats[2].count() > 0 ? stats[2].mean() : 0.0, 3)
+        .add(wall, 1)
+        .add(wall > 0 ? reps_n * 1e3 / wall : 0.0, 1)
+        .add(base_wall > 0 && wall > 0 ? base_wall / wall : 1.0, 2);
+  };
+
+  // ---- Part 1: lane-batched Decay ----------------------------------------
+  {
+    util::Rng grng(seed);
+    const graph::NodeId n = quick ? 2000 : 24000;
+    const double avg_deg = quick ? 16.0 : 12.0;
+    const graph::Graph g = graph::gnp(n, avg_deg / n, grng);
+    const int cycles = quick ? 4 : 8;
+
+    util::Table t({"protocol", "reps", "rounds", "wall/rep ms", "wall ms",
+                   "reps/s", "speedup"});
+    double scalar_wall = 0.0;
+    {
+      const double t0 = now_ms();
+      const auto stats = ctx.runner.replicate(
+          reps, seed, 3, [&](int rep, std::uint64_t rep_seed) {
+            radio::Network net(g);
+            auto lanes = decay_lanes_body(g, net, cycles, {rep_seed});
+            ctx.record({"decay-scalar", rep, lanes[0][0], lanes[0][1],
+                        lanes[0][2], "scalar", 1});
+            return lanes[0];
+          });
+      scalar_wall = now_ms() - t0;
+      add_row(t, "decay-scalar", reps, stats, scalar_wall, scalar_wall);
+    }
+    {
+      const double t0 = now_ms();
+      const auto stats = ctx.runner.replicate_batched(
+          reps, seed, 3, radio::kMaxLanes,
+          [&](int first_rep, const std::vector<std::uint64_t>& seeds) {
+            radio::BatchNetwork bn(g, static_cast<int>(seeds.size()),
+                                   radio::CollisionModel::kNoDetection,
+                                   lanes_medium);
+            auto lanes = decay_lanes_body(g, bn, cycles, seeds);
+            for (std::size_t l = 0; l < lanes.size(); ++l) {
+              ctx.record({"decay-lanes", first_rep + static_cast<int>(l),
+                          lanes[l][0], lanes[l][1], lanes[l][2],
+                          lanes_medium_name,
+                          static_cast<int>(seeds.size())});
+            }
+            return lanes;
+          });
+      add_row(t, "decay-lanes", reps, stats, now_ms() - t0, scalar_wall);
+    }
+    ctx.emit(t,
+             "lane-batched Decay on gnp(n=" + std::to_string(n) +
+                 ", avg_deg~" + std::to_string(static_cast<int>(avg_deg)) +
+                 "), " + std::to_string(reps) + " seeds x " +
+                 std::to_string(cycles) + " Decay rounds",
+             "protocol_lanes_decay");
+    ctx.note("(same lane-generic decay_round_lanes both rows; per-seed "
+             "results are byte-identical — acceptance bar is >= 4x scalar "
+             "reps/s)");
+  }
+
+  // ---- Part 2: lane-batched Decay-relay broadcast / Compete --------------
+  {
+    util::Rng grng(util::mix_seed(seed, 1));
+    const graph::NodeId n = quick ? 1500 : 4000;
+    const graph::Graph g = graph::gnp(n, 12.0 / n, grng);
+    core::BatchedCompeteParams params;
+    params.max_rounds = quick ? 2000 : 6000;
+    const std::vector<core::CompeteSource> sources{
+        {0, 1'000'000}, {n / 2, 999'999}};
+    const int breps = quick ? 32 : 64;
+
+    util::Table t({"protocol", "reps", "rounds", "wall/rep ms", "wall ms",
+                   "reps/s", "speedup"});
+    double scalar_wall = 0.0;
+    double success_scalar = 0.0, success_lanes = 0.0;
+    {
+      const double t0 = now_ms();
+      const auto stats = ctx.runner.replicate(
+          breps, seed, 4, [&](int rep, std::uint64_t rep_seed) {
+            const double r0 = now_ms();
+            radio::Network net(g);
+            const std::uint64_t one[] = {rep_seed};
+            const auto lane =
+                core::compete_batched(net, sources, params, one).front();
+            const double wall = now_ms() - r0;
+            ctx.record({"broadcast-scalar", rep,
+                        static_cast<double>(lane.rounds),
+                        static_cast<double>(lane.deliveries), wall, "scalar",
+                        1});
+            return std::vector<double>{static_cast<double>(lane.rounds),
+                                       static_cast<double>(lane.deliveries),
+                                       wall, lane.success ? 1.0 : 0.0};
+          });
+      scalar_wall = now_ms() - t0;
+      success_scalar = stats[3].mean();
+      add_row(t, "broadcast-scalar", breps, stats, scalar_wall, scalar_wall);
+    }
+    {
+      const double t0 = now_ms();
+      const auto stats = ctx.runner.replicate_batched(
+          breps, seed, 4, radio::kMaxLanes,
+          [&](int first_rep, const std::vector<std::uint64_t>& seeds) {
+            const double b0 = now_ms();
+            const auto lanes =
+                core::compete_batched(g, sources, params, seeds, lanes_medium);
+            const double wall = (now_ms() - b0) / lanes.size();
+            std::vector<std::vector<double>> metrics;
+            metrics.reserve(lanes.size());
+            for (std::size_t l = 0; l < lanes.size(); ++l) {
+              const auto& lane = lanes[l];
+              ctx.record({"broadcast-lanes", first_rep + static_cast<int>(l),
+                          static_cast<double>(lane.rounds),
+                          static_cast<double>(lane.deliveries), wall,
+                          lanes_medium_name,
+                          static_cast<int>(seeds.size())});
+              metrics.push_back({static_cast<double>(lane.rounds),
+                                 static_cast<double>(lane.deliveries), wall,
+                                 lane.success ? 1.0 : 0.0});
+            }
+            return metrics;
+          });
+      success_lanes = stats[3].mean();
+      add_row(t, "broadcast-lanes", breps, stats, now_ms() - t0, scalar_wall);
+    }
+    ctx.emit(t,
+             "Decay-relay Compete (|S|=2) on gnp(n=" + std::to_string(n) +
+                 ", avg_deg~12), " + std::to_string(breps) + " seeds",
+             "protocol_lanes_broadcast");
+    ctx.note("(success rate scalar=" + std::to_string(success_scalar) +
+             " lanes=" + std::to_string(success_lanes) +
+             " — identical seeds, identical per-lane results)");
+  }
+}

@@ -13,6 +13,7 @@
 #include <iostream>
 #include <string>
 
+#include "radio/medium.hpp"
 #include "sim/runner.hpp"
 #include "sim/scenario.hpp"
 #include "util/cli.hpp"
@@ -32,6 +33,15 @@ void print_list(const radiocast::sim::ScenarioRegistry& registry) {
   }
 }
 
+std::string medium_names() {
+  std::string out;
+  for (const std::string_view n : radiocast::radio::kMediumNames) {
+    out += " ";
+    out += n;
+  }
+  return out;
+}
+
 void print_usage(const char* program) {
   std::cout
       << "usage: " << program << " <scenario> [flags]\n"
@@ -42,8 +52,11 @@ void print_usage(const char* program) {
       << "  --reps=R       replications per sweep point\n"
       << "  --threads=N    worker threads for replications (default 1);\n"
       << "                 results are identical for any N\n"
-      << "  --medium=M     radio backend for medium-aware scenarios:\n"
-      << "                 scalar (default) | bitslice | sharded\n"
+      << "  --medium=M     radio backend for medium-aware scenarios\n"
+      << "                 (default scalar):" << medium_names() << "\n"
+      << "  --medium-threads=N\n"
+      << "                 sharded-backend worker count (default 0 = the\n"
+      << "                 RADIOCAST_SHARD_THREADS env var, else hardware)\n"
       << "  --out=DIR      CSV/JSON output directory (default bench_out;\n"
       << "                 empty string disables file output)\n";
 }
@@ -86,6 +99,10 @@ int main(int argc, char** argv) {
 
     Runner runner(static_cast<int>(cli.get_int("threads", 1)));
     ScenarioContext ctx(cli, runner);
+    // Validate --medium for every scenario up front: scenarios that ignore
+    // the flag would otherwise silently run their default backend on a
+    // typo'd value.
+    if (cli.has("medium")) (void)ctx.medium_kind();
     if (cli.has("out")) ctx.out_dir = cli.get_string("out", "bench_out");
     const auto start = std::chrono::steady_clock::now();
     registry.run(cli.subcommand(), ctx);

@@ -1,0 +1,153 @@
+#include "core/compete_batched.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "radio/batch_network.hpp"
+#include "schedule/decay.hpp"
+#include "util/rng.hpp"
+
+namespace radiocast::core {
+
+std::vector<CompeteLaneResult> compete_batched(
+    radio::LaneExecutor& net, const std::vector<CompeteSource>& sources,
+    const BatchedCompeteParams& params, std::span<const std::uint64_t> seeds) {
+  const NodeId n = net.node_count();
+  if (n == 0) throw std::invalid_argument("compete_batched: empty graph");
+  const int lanes = static_cast<int>(seeds.size());
+  if (lanes < 1 || lanes > net.lanes()) {
+    throw std::invalid_argument(
+        "compete_batched: seeds.size() must be in [1, net.lanes()]");
+  }
+  const std::uint64_t lane_mask = radio::lane_mask(lanes);
+
+  std::vector<CompeteLaneResult> results(static_cast<std::size_t>(lanes));
+  radio::Payload winner = radio::kNoPayload;
+  // Lane-major knowledge planes: lane l owns best[l*n, (l+1)*n).
+  std::vector<radio::Payload> best(static_cast<std::size_t>(lanes) * n,
+                                   radio::kNoPayload);
+  // Bit l of informed[v]: v knows something in lane l (and so relays).
+  std::vector<std::uint64_t> informed(n, 0);
+  for (const auto& s : sources) {
+    if (s.node >= n) {
+      throw std::out_of_range("compete_batched: source out of range");
+    }
+    for (int l = 0; l < lanes; ++l) {
+      radio::Payload& b = best[static_cast<std::size_t>(l) * n + s.node];
+      if (b == radio::kNoPayload || s.value > b) b = s.value;
+    }
+    informed[s.node] = lane_mask;
+    if (winner == radio::kNoPayload || s.value > winner) winner = s.value;
+  }
+  auto finish_lane = [&](int l, bool success, std::uint64_t rounds) {
+    CompeteLaneResult& r = results[static_cast<std::size_t>(l)];
+    r.success = success;
+    r.rounds = rounds;
+    r.winner = winner;
+  };
+  if (sources.empty()) {
+    // Vacuous: nothing to propagate (mirrors compete()).
+    for (int l = 0; l < lanes; ++l) {
+      finish_lane(l, true, 0);
+      results[static_cast<std::size_t>(l)].best.assign(n, radio::kNoPayload);
+      results[static_cast<std::size_t>(l)].informed = 0;
+    }
+    return results;
+  }
+
+  std::vector<util::Rng> rngs;
+  rngs.reserve(static_cast<std::size_t>(lanes));
+  for (const std::uint64_t seed : seeds) rngs.emplace_back(seed);
+
+  const std::uint32_t depth =
+      params.cycle_depth == 0
+          ? schedule::decay_round_length(n)
+          : std::max<std::uint32_t>(1, params.cycle_depth);
+
+  auto lane_done = [&](int l) {
+    const radio::Payload* plane = best.data() + static_cast<std::size_t>(l) * n;
+    for (NodeId v = 0; v < n; ++v) {
+      if (plane[v] != winner) return false;
+    }
+    return true;
+  };
+
+  std::uint64_t active = lane_mask;
+  for (int l = 0; l < lanes; ++l) {
+    if (lane_done(l)) {
+      finish_lane(l, true, 0);
+      active &= ~(std::uint64_t{1} << l);
+    }
+  }
+
+  std::vector<std::uint64_t> participates(n, 0);
+  radio::BatchOutcome out;
+  const radio::PayloadPlanes planes = radio::PayloadPlanes::lane_major(best, n);
+  std::uint64_t round = 0;
+  std::uint32_t since_check = 0;
+  while (active != 0 && round < params.max_rounds) {
+    const std::uint32_t step = static_cast<std::uint32_t>(round % depth) + 1;
+    // Done lanes stop transmitting: their planes and counters are frozen
+    // at the values a standalone run would have terminated with (the coin
+    // words their streams keep yielding can no longer influence anything).
+    for (NodeId v = 0; v < n; ++v) participates[v] = informed[v] & active;
+    schedule::decay_step_lanes(net, participates, planes, step, best, rngs,
+                               out);
+    for (const auto& dm : out.delivered) {
+      informed[dm.node] |= dm.lanes;  // delivered lanes are active lanes
+    }
+    for (std::uint64_t scan = active; scan != 0; scan &= scan - 1) {
+      const int l = std::countr_zero(scan);
+      results[static_cast<std::size_t>(l)].transmissions +=
+          out.transmitter_count[l];
+      results[static_cast<std::size_t>(l)].deliveries +=
+          out.delivered_count[l];
+    }
+    ++round;
+    if (++since_check >= params.check_interval) {
+      since_check = 0;
+      for (std::uint64_t scan = active; scan != 0; scan &= scan - 1) {
+        const int l = std::countr_zero(scan);
+        if (lane_done(l)) {
+          finish_lane(l, true, round);
+          active &= ~(std::uint64_t{1} << l);
+        }
+      }
+    }
+  }
+  // Lanes that ran out of budget: final completion scan (a lane may have
+  // finished between checks), mirroring the scalar cores.
+  for (std::uint64_t scan = active; scan != 0; scan &= scan - 1) {
+    const int l = std::countr_zero(scan);
+    finish_lane(l, lane_done(l), round);
+  }
+
+  for (int l = 0; l < lanes; ++l) {
+    CompeteLaneResult& r = results[static_cast<std::size_t>(l)];
+    const auto plane = best.begin() + static_cast<std::ptrdiff_t>(l) * n;
+    r.best.assign(plane, plane + n);
+    r.informed = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (r.best[v] == winner) ++r.informed;
+    }
+  }
+  return results;
+}
+
+std::vector<CompeteLaneResult> compete_batched(
+    const graph::Graph& g, const std::vector<CompeteSource>& sources,
+    const BatchedCompeteParams& params, std::span<const std::uint64_t> seeds,
+    radio::MediumKind medium) {
+  radio::BatchNetwork net(g, static_cast<int>(seeds.size()),
+                          radio::CollisionModel::kNoDetection, medium);
+  return compete_batched(net, sources, params, seeds);
+}
+
+std::vector<CompeteLaneResult> broadcast_batched(
+    const graph::Graph& g, graph::NodeId source, radio::Payload message,
+    const BatchedCompeteParams& params, std::span<const std::uint64_t> seeds,
+    radio::MediumKind medium) {
+  return compete_batched(g, {{source, message}}, params, seeds, medium);
+}
+
+}  // namespace radiocast::core

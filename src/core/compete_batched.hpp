@@ -1,0 +1,80 @@
+// Lane-batched Monte-Carlo drivers for the Decay-relay Compete primitive:
+// run N independent seeded replications of the full protocol through the
+// lanes of one radio::LaneExecutor, so (with a BatchNetwork on the
+// bitslice backend) up to 64 seeds share every CSR traversal instead of
+// re-walking the adjacency once per seed.
+//
+// The protocol is the Compete semantics restricted to Decay relaying
+// (exactly baselines::decay_broadcast's rule set, the BGI yardstick):
+// every informed node relays the highest message it knows via
+// synchronized Decay, densities cycling over 2^-1 .. 2^-cycle_depth,
+// until every node knows max(S) or the round budget runs out. Each lane
+// carries its own knowledge plane (best), its own RNG stream, and its own
+// termination clock; per-lane payload planes let a node relay different
+// values in different lanes, which is what lifted the medium's old
+// lane-invariant-payload contract.
+//
+// Determinism contract (pinned by tests/test_protocol_lanes.cpp): lane l
+// of compete_batched(..., seeds) is byte-identical — success, rounds,
+// informed count, transmission/delivery counters, and the whole best[]
+// plane — to a 1-lane run over a scalar Network with seeds[l]. The
+// paper's clustering-based Compete main process (core/compete.hpp)
+// remains scalar; batching its per-seed hierarchies is future work on the
+// ROADMAP.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/compete.hpp"
+#include "graph/graph.hpp"
+#include "radio/lane_executor.hpp"
+#include "radio/medium.hpp"
+
+namespace radiocast::core {
+
+struct BatchedCompeteParams {
+  /// Decay density cycle depth: probabilities cycle over 2^-1 ..
+  /// 2^-cycle_depth. 0 = auto (ceil(log2 n), the BGI rule).
+  std::uint32_t cycle_depth = 0;
+  /// Stop a lane after this many rounds even if nodes remain uninformed.
+  std::uint64_t max_rounds = 1'000'000;
+  /// Completion-scan cadence (measurement only, like the scalar cores).
+  std::uint32_t check_interval = 16;
+};
+
+/// One lane's (= one seed's) replication result.
+struct CompeteLaneResult {
+  bool success = false;      // every node knew max(S) at termination
+  std::uint64_t rounds = 0;  // physical rounds this lane executed
+  std::uint32_t informed = 0;
+  radio::Payload winner = radio::kNoPayload;
+  std::uint64_t transmissions = 0;
+  std::uint64_t deliveries = 0;
+  /// Final per-node knowledge (kNoPayload where nothing was learnt).
+  std::vector<radio::Payload> best;
+};
+
+/// Runs seeds.size() independent replications of Decay-relay Compete(S)
+/// through the lanes of `net` (seeds.size() must be in [1, net.lanes()]).
+/// Lane l is fully determined by (topology, sources, params, seeds[l]).
+std::vector<CompeteLaneResult> compete_batched(
+    radio::LaneExecutor& net, const std::vector<CompeteSource>& sources,
+    const BatchedCompeteParams& params, std::span<const std::uint64_t> seeds);
+
+/// Convenience: owns a BatchNetwork over `g` with seeds.size() lanes on
+/// the given backend (bitslice = one traversal per round for all seeds).
+std::vector<CompeteLaneResult> compete_batched(
+    const graph::Graph& g, const std::vector<CompeteSource>& sources,
+    const BatchedCompeteParams& params, std::span<const std::uint64_t> seeds,
+    radio::MediumKind medium = radio::MediumKind::kBitslice);
+
+/// Broadcast = Compete with S = {source}: N seeded replications of the
+/// Decay-relay broadcast of `message` from `source`.
+std::vector<CompeteLaneResult> broadcast_batched(
+    const graph::Graph& g, graph::NodeId source, radio::Payload message,
+    const BatchedCompeteParams& params, std::span<const std::uint64_t> seeds,
+    radio::MediumKind medium = radio::MediumKind::kBitslice);
+
+}  // namespace radiocast::core

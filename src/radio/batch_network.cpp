@@ -17,9 +17,21 @@ BatchNetwork::BatchNetwork(const graph::Graph& g, int lanes,
 }
 
 void BatchNetwork::step(std::span<const std::uint64_t> tx_mask,
-                        std::span<const Payload> payload, BatchOutcome& out,
+                        PayloadPlanes payload, BatchOutcome& out,
                         bool with_senders) {
   medium_->resolve_batch(tx_mask, payload, lanes_, out, with_senders);
+  ++rounds_;
+  for (int l = 0; l < lanes_; ++l) {
+    total_tx_[l] += out.transmitter_count[l];
+    total_delivered_[l] += out.delivered_count[l];
+    total_collided_[l] += out.collided_count[l];
+  }
+}
+
+void BatchNetwork::step_lanes_max(std::span<const std::uint64_t> tx_mask,
+                                  PayloadPlanes payload,
+                                  std::span<Payload> best, BatchOutcome& out) {
+  medium_->resolve_batch_max(tx_mask, payload, lanes_, best, out);
   ++rounds_;
   for (int l = 0; l < lanes_; ++l) {
     total_tx_[l] += out.transmitter_count[l];

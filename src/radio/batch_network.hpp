@@ -14,12 +14,13 @@
 #include <span>
 
 #include "graph/graph.hpp"
+#include "radio/lane_executor.hpp"
 #include "radio/medium.hpp"
 #include "radio/model.hpp"
 
 namespace radiocast::radio {
 
-class BatchNetwork {
+class BatchNetwork : public LaneExecutor {
  public:
   explicit BatchNetwork(const graph::Graph& g, int lanes = kMaxLanes,
                         CollisionModel model = CollisionModel::kNoDetection,
@@ -29,21 +30,33 @@ class BatchNetwork {
                         CollisionModel model = CollisionModel::kNoDetection,
                         MediumKind medium = MediumKind::kBitslice) = delete;
 
-  const graph::Graph& topology() const { return *graph_; }
-  CollisionModel collision_model() const { return model_; }
+  const graph::Graph& topology() const override { return *graph_; }
+  CollisionModel collision_model() const override { return model_; }
   graph::NodeId node_count() const { return graph_->node_count(); }
-  int lanes() const { return lanes_; }
+  int lanes() const override { return lanes_; }
   MediumKind medium_kind() const { return kind_; }
   Medium& medium() { return *medium_; }
 
   /// Resolves one round in all lanes: bit l of tx_mask[v] says whether v
-  /// transmits in lane l; payload[v] is the value v sends (identical
-  /// across the lanes it transmits in). Both spans are node_count()-sized.
+  /// transmits in lane l; `payload` is what each node sends — one shared
+  /// plane or per-lane lane-major planes (see PayloadPlanes).
   /// `with_senders` opts into per-delivery sender/payload detail; the
   /// aggregate delivered masks and counters come either way.
-  void step(std::span<const std::uint64_t> tx_mask,
-            std::span<const Payload> payload, BatchOutcome& out,
-            bool with_senders = true);
+  void step(std::span<const std::uint64_t> tx_mask, PayloadPlanes payload,
+            BatchOutcome& out, bool with_senders = true);
+
+  /// LaneExecutor entry point; identical to step().
+  void step_lanes(std::span<const std::uint64_t> tx_mask,
+                  PayloadPlanes payload, BatchOutcome& out,
+                  bool with_senders = true) override {
+    step(tx_mask, payload, out, with_senders);
+  }
+
+  /// Fold variant (see LaneExecutor): one Medium::resolve_batch_max call,
+  /// counters advance like step().
+  void step_lanes_max(std::span<const std::uint64_t> tx_mask,
+                      PayloadPlanes payload, std::span<Payload> best,
+                      BatchOutcome& out) override;
 
   Round rounds_elapsed() const { return rounds_; }
   const std::array<std::uint64_t, kMaxLanes>& transmissions_by_lane() const {

@@ -10,23 +10,23 @@
 namespace radiocast::radio {
 
 std::string_view to_string(MediumKind kind) {
-  switch (kind) {
-    case MediumKind::kScalar:
-      return "scalar";
-    case MediumKind::kBitslice:
-      return "bitslice";
-    case MediumKind::kSharded:
-      return "sharded";
-  }
-  return "?";
+  const auto i = static_cast<std::size_t>(kind);
+  return i < kMediumNames.size() ? kMediumNames[i] : "?";
 }
 
 MediumKind parse_medium_kind(std::string_view name) {
-  if (name == "scalar") return MediumKind::kScalar;
-  if (name == "bitslice") return MediumKind::kBitslice;
-  if (name == "sharded") return MediumKind::kSharded;
-  throw std::invalid_argument("unknown medium '" + std::string(name) +
-                              "' (expected scalar, bitslice, or sharded)");
+  for (std::size_t i = 0; i < kMediumNames.size(); ++i) {
+    if (name == kMediumNames[i]) return static_cast<MediumKind>(i);
+  }
+  std::string msg = "unknown medium '" + std::string(name) + "' (expected";
+  const char* sep = " ";
+  for (const std::string_view n : kMediumNames) {
+    msg += sep;
+    msg += n;
+    sep = " | ";
+  }
+  msg += ")";
+  throw std::invalid_argument(msg);
 }
 
 void BatchOutcome::clear() {
@@ -39,13 +39,13 @@ void BatchOutcome::clear() {
 }
 
 void Medium::resolve_batch(std::span<const std::uint64_t> tx_mask,
-                           std::span<const Payload> payload, int lanes,
+                           PayloadPlanes payload, int lanes,
                            BatchOutcome& out, bool with_senders) {
   const graph::NodeId n = graph_->node_count();
-  if (tx_mask.size() != n || payload.size() != n) {
+  if (tx_mask.size() != n || payload.plane_size() != n) {
     throw std::invalid_argument("Medium::resolve_batch: size mismatch");
   }
-  if (lanes < 1 || lanes > kMaxLanes) {
+  if (lanes < 1 || lanes > kMaxLanes || lanes > payload.lane_capacity()) {
     throw std::invalid_argument("Medium::resolve_batch: lanes out of range");
   }
   out.clear();
@@ -62,7 +62,7 @@ void Medium::resolve_batch(std::span<const std::uint64_t> tx_mask,
     for (graph::NodeId v = 0; v < n; ++v) {
       if (tx_mask[v] & bit) {
         lane_tx_.push_back(v);
-        lane_payload_.push_back(payload[v]);
+        lane_payload_.push_back(payload.at(l, v));
       }
     }
     resolve(lane_tx_, lane_payload_, lane_out_);
@@ -89,6 +89,21 @@ void Medium::resolve_batch(std::span<const std::uint64_t> tx_mask,
   for (const graph::NodeId v : agg_touched_) {
     out.delivered.push_back({v, agg_mask_[v]});
   }
+}
+
+void Medium::resolve_batch_max(std::span<const std::uint64_t> tx_mask,
+                               PayloadPlanes payload, int lanes,
+                               std::span<Payload> best, BatchOutcome& out) {
+  const graph::NodeId n = graph_->node_count();
+  if (best.size() < static_cast<std::size_t>(lanes) * n) {
+    throw std::invalid_argument("Medium::resolve_batch_max: best too small");
+  }
+  resolve_batch(tx_mask, payload, lanes, out, /*with_senders=*/true);
+  for (const auto& d : out.deliveries) {
+    Payload& b = best[static_cast<std::size_t>(d.lane) * n + d.node];
+    if (b == kNoPayload || d.payload > b) b = d.payload;
+  }
+  out.deliveries.clear();  // match the backends that never build them
 }
 
 std::unique_ptr<Medium> make_medium(MediumKind kind, const graph::Graph& g,

@@ -26,6 +26,7 @@
 // order for sharded; consumers must not depend on it beyond determinism.
 #pragma once
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <memory>
@@ -64,13 +65,84 @@ struct SparseOutcome {
 /// others trade generality for throughput (see the file comment).
 enum class MediumKind : std::uint8_t { kScalar, kBitslice, kSharded };
 
+/// Canonical backend names, indexed by MediumKind — the single source of
+/// truth for to_string, parse_medium_kind, and flag validation.
+inline constexpr std::array<std::string_view, 3> kMediumNames{
+    "scalar", "bitslice", "sharded"};
+
 std::string_view to_string(MediumKind kind);
-/// Parses "scalar" | "bitslice" | "sharded"; throws std::invalid_argument
-/// otherwise (message lists the legal values).
+/// Parses a kMediumNames entry; throws std::invalid_argument otherwise
+/// (message lists the legal values).
 MediumKind parse_medium_kind(std::string_view name);
 
 /// Lane capacity of the batch entry point (width of the bitplane words).
 constexpr int kMaxLanes = 64;
+
+/// Mask with the low `lanes` bits set — the "every lane" word for a batch
+/// of that width (shift-by-64 safe). Requires 1 <= lanes <= kMaxLanes.
+constexpr std::uint64_t lane_mask(int lanes) {
+  return lanes >= kMaxLanes ? ~std::uint64_t{0}
+                            : (std::uint64_t{1} << lanes) - 1;
+}
+
+/// Per-lane payload view for the batched entry points: entry (lane, node)
+/// is what the node transmits in that lane. Two layouts:
+///
+///   * shared — one node_count-sized plane broadcast to every lane
+///     (stride 0). The original lane-invariant contract, still the natural
+///     fit for floods where every lane relays the same constant.
+///   * lane-major — a lanes x node_count buffer where plane l occupies
+///     [l * node_count, (l+1) * node_count). This is the layout protocol
+///     knowledge planes (best[]) use, so a batched protocol can hand its
+///     own state straight to the medium — each Monte-Carlo lane relays the
+///     value it actually holds.
+///
+/// The view is non-owning; the buffer must outlive the call it is passed
+/// to (media never retain it across calls).
+class PayloadPlanes {
+ public:
+  /// Lane-invariant plane, shared by every lane. Implicit on purpose:
+  /// existing span/vector call sites keep working unchanged.
+  PayloadPlanes(std::span<const Payload> plane)
+      : data_(plane.data()), plane_size_(plane.size()) {}
+  PayloadPlanes(const std::vector<Payload>& plane)
+      : PayloadPlanes(std::span<const Payload>(plane)) {}
+
+  /// Lane-major planes over a (lanes x node_count) buffer; the number of
+  /// lanes served is data.size() / node_count.
+  static PayloadPlanes lane_major(std::span<const Payload> data,
+                                  std::size_t node_count) {
+    const int capacity =
+        node_count == 0
+            ? kMaxLanes
+            : static_cast<int>(
+                  std::min<std::size_t>(kMaxLanes, data.size() / node_count));
+    return PayloadPlanes(data.data(), node_count, node_count, capacity);
+  }
+
+  /// What `v` transmits in lane `lane`.
+  Payload at(int lane, graph::NodeId v) const {
+    return data_[stride_ * static_cast<std::size_t>(lane) + v];
+  }
+  /// Nodes covered by each plane.
+  std::size_t plane_size() const { return plane_size_; }
+  /// Lanes the buffer can serve (kMaxLanes when shared).
+  int lane_capacity() const { return lane_capacity_; }
+  bool lane_invariant() const { return stride_ == 0; }
+
+ private:
+  PayloadPlanes(const Payload* data, std::size_t plane_size,
+                std::size_t stride, int lane_capacity)
+      : data_(data),
+        plane_size_(plane_size),
+        stride_(stride),
+        lane_capacity_(lane_capacity) {}
+
+  const Payload* data_;
+  std::size_t plane_size_;
+  std::size_t stride_ = 0;
+  int lane_capacity_ = kMaxLanes;
+};
 
 /// One successful reception in one lane of a batched round.
 struct BatchDelivery {
@@ -144,17 +216,31 @@ class Medium {
                        SparseOutcome& out) = 0;
 
   /// Batched entry point: bit l of tx_mask[v] says whether v transmits in
-  /// replication lane l (bits >= `lanes` are ignored); payload[v] is what
-  /// v sends, identical in every lane it transmits in (the contract of
-  /// broadcast/leader-election workloads, where a node relays one held
-  /// value). `with_senders` opts into the per-delivery sender/payload
-  /// detail (out.deliveries); the aggregate delivered masks and all
-  /// counters are produced either way. The default implementation
-  /// decomposes into per-lane resolve() calls; the bitslice backend
-  /// overrides it with the one-traversal bitplane kernel.
+  /// replication lane l (bits >= `lanes` are ignored); `payload` supplies
+  /// what each node sends per lane — either one shared plane (the original
+  /// lane-invariant contract) or lane-major per-lane planes, so batched
+  /// protocols can relay lane-local state (see PayloadPlanes).
+  /// `with_senders` opts into the per-delivery sender/payload detail
+  /// (out.deliveries); the aggregate delivered masks and all counters are
+  /// produced either way. The default implementation decomposes into
+  /// per-lane resolve() calls; the bitslice backend overrides it with the
+  /// one-traversal bitplane kernel.
   virtual void resolve_batch(std::span<const std::uint64_t> tx_mask,
-                             std::span<const Payload> payload, int lanes,
+                             PayloadPlanes payload, int lanes,
                              BatchOutcome& out, bool with_senders = true);
+
+  /// Fold variant of resolve_batch for max-relay protocols (Decay,
+  /// Compete): every delivery (v, lane) max-combines its payload straight
+  /// into the lane-major knowledge planes — best[lane * n + v] =
+  /// max(best, delivered) with kNoPayload as "nothing yet" — instead of
+  /// materializing per-delivery records. `out` carries the delivered
+  /// masks and counters; out.deliveries is left empty (the whole point is
+  /// not to build it: for a 64-lane batch that is millions of records per
+  /// replication sweep). Results are identical to running resolve_batch
+  /// with senders and folding the deliveries afterwards.
+  virtual void resolve_batch_max(std::span<const std::uint64_t> tx_mask,
+                                 PayloadPlanes payload, int lanes,
+                                 std::span<Payload> best, BatchOutcome& out);
 
  protected:
   const graph::Graph* graph_;

@@ -15,20 +15,17 @@ BitsliceMedium::BitsliceMedium(const graph::Graph& g, CollisionModel model)
 }
 
 void BitsliceMedium::resolve_batch(std::span<const std::uint64_t> tx_mask,
-                                   std::span<const Payload> payload,
-                                   int lanes, BatchOutcome& out,
-                                   bool with_senders) {
+                                   PayloadPlanes payload, int lanes,
+                                   BatchOutcome& out, bool with_senders) {
   const graph::NodeId n = graph_->node_count();
-  if (tx_mask.size() != n || payload.size() != n) {
+  if (tx_mask.size() != n || payload.plane_size() != n) {
     throw std::invalid_argument("BitsliceMedium::resolve_batch: size mismatch");
   }
-  if (lanes < 1 || lanes > kMaxLanes) {
+  if (lanes < 1 || lanes > kMaxLanes || lanes > payload.lane_capacity()) {
     throw std::invalid_argument(
         "BitsliceMedium::resolve_batch: lanes out of range");
   }
-  const std::uint64_t lane_mask =
-      lanes == kMaxLanes ? ~std::uint64_t{0}
-                         : (std::uint64_t{1} << lanes) - 1;
+  const std::uint64_t lane_mask = radio::lane_mask(lanes);
   out.clear();
   tx_tally_.reset();
   delivered_tally_.reset();
@@ -139,21 +136,52 @@ void BitsliceMedium::resolve_batch(std::span<const std::uint64_t> tx_mask,
 
 // Sender recovery on demand: scan each winning listener's row, clearing
 // won lanes as their unique senders are found, so every row is visited at
-// most once and only for listeners that actually won a lane.
+// most once and only for listeners that actually won a lane. The payload
+// lookup is per (lane, sender) — with per-lane planes a sender hitting
+// several lanes delivers each lane's own value.
 void BitsliceMedium::recover_senders(std::span<const std::uint64_t> tx_mask,
-                                     std::span<const Payload> payload,
+                                     PayloadPlanes payload,
                                      BatchOutcome& out) const {
   for (const auto& dm : out.delivered) {
     std::uint64_t win = dm.lanes;
     for (const graph::NodeId u : graph_->neighbors(dm.node)) {
       std::uint64_t hit = win & tx_mask[u];
       if (hit == 0) continue;
-      const Payload pay = payload[u];
       win &= ~hit;
       do {
-        out.deliveries.push_back(
-            {dm.node, static_cast<std::uint8_t>(std::countr_zero(hit)), u,
-             pay});
+        const int lane = std::countr_zero(hit);
+        out.deliveries.push_back({dm.node, static_cast<std::uint8_t>(lane), u,
+                                  payload.at(lane, u)});
+        hit &= hit - 1;
+      } while (hit != 0);
+      if (win == 0) break;
+    }
+  }
+}
+
+void BitsliceMedium::resolve_batch_max(std::span<const std::uint64_t> tx_mask,
+                                       PayloadPlanes payload, int lanes,
+                                       std::span<Payload> best,
+                                       BatchOutcome& out) {
+  const graph::NodeId n = graph_->node_count();
+  if (best.size() < static_cast<std::size_t>(lanes) * n) {
+    throw std::invalid_argument(
+        "BitsliceMedium::resolve_batch_max: best too small");
+  }
+  resolve_batch(tx_mask, payload, lanes, out, /*with_senders=*/false);
+  // Same row walk as recover_senders, but each found (lane, sender) pair
+  // folds directly into the lane's plane instead of growing a record list.
+  for (const auto& dm : out.delivered) {
+    std::uint64_t win = dm.lanes;
+    for (const graph::NodeId u : graph_->neighbors(dm.node)) {
+      std::uint64_t hit = win & tx_mask[u];
+      if (hit == 0) continue;
+      win &= ~hit;
+      do {
+        const int lane = std::countr_zero(hit);
+        Payload& b = best[static_cast<std::size_t>(lane) * n + dm.node];
+        const Payload p = payload.at(lane, u);
+        if (b == kNoPayload || p > b) b = p;
         hit &= hit - 1;
       } while (hit != 0);
       if (win == 0) break;

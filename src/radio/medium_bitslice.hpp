@@ -34,13 +34,19 @@ class BitsliceMedium final : public Medium {
                SparseOutcome& out) override;
 
   void resolve_batch(std::span<const std::uint64_t> tx_mask,
-                     std::span<const Payload> payload, int lanes,
-                     BatchOutcome& out, bool with_senders = true) override;
+                     PayloadPlanes payload, int lanes, BatchOutcome& out,
+                     bool with_senders = true) override;
+
+  /// Fold path: the mask-only kernel plus one row scan per winning
+  /// listener that max-combines each won lane's unique-sender payload
+  /// straight into the best planes — no per-delivery records at all.
+  void resolve_batch_max(std::span<const std::uint64_t> tx_mask,
+                         PayloadPlanes payload, int lanes,
+                         std::span<Payload> best, BatchOutcome& out) override;
 
  private:
   void recover_senders(std::span<const std::uint64_t> tx_mask,
-                       std::span<const Payload> payload,
-                       BatchOutcome& out) const;
+                       PayloadPlanes payload, BatchOutcome& out) const;
   // Per-listener bitplanes, stored adjacently so the per-edge update stays
   // within one cache line. Invariant between rounds: all zero — a nonzero
   // `one` marks the listener as touched this round (transmit masks are

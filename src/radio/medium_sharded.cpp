@@ -1,13 +1,23 @@
 #include "radio/medium_sharded.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace radiocast::radio {
 
 namespace {
 
+// Worker count when the caller passes threads == 0: the
+// RADIOCAST_SHARD_THREADS environment variable when set to a positive
+// integer, else a hardware-derived default. The env override matters on
+// hosts where hardware_concurrency() lies (containers and CI runners
+// often report 1, silently degrading the backend to single-threaded).
 int default_threads() {
+  if (const char* env = std::getenv("RADIOCAST_SHARD_THREADS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return std::min(v, 64);
+  }
   const unsigned hw = std::thread::hardware_concurrency();
   return static_cast<int>(std::clamp(hw, 1u, 8u));
 }

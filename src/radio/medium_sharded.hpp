@@ -26,9 +26,11 @@ namespace radiocast::radio {
 
 class ShardedMedium final : public Medium {
  public:
-  /// `threads` is the shard/worker count; 0 picks a hardware-derived
-  /// default. The shard layout is fixed at construction, so results are a
-  /// pure function of (graph, model, threads, input).
+  /// `threads` is the shard/worker count; 0 defers to the
+  /// RADIOCAST_SHARD_THREADS environment variable when set (for hosts
+  /// where hardware_concurrency() misreports, e.g. CI containers), else a
+  /// hardware-derived default. The shard layout is fixed at construction,
+  /// so results are a pure function of (graph, model, threads, input).
   ShardedMedium(const graph::Graph& g, CollisionModel model, int threads = 0);
   ~ShardedMedium() override;
 

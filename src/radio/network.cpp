@@ -67,6 +67,52 @@ RoundOutcome Network::step(const std::vector<std::uint8_t>& transmit,
   return out;
 }
 
+void Network::step_lanes(std::span<const std::uint64_t> tx_mask,
+                         PayloadPlanes payload, BatchOutcome& out,
+                         bool with_senders) {
+  const graph::NodeId n = graph_->node_count();
+  if (tx_mask.size() != n || payload.plane_size() != n ||
+      payload.lane_capacity() < 1) {
+    throw std::invalid_argument("Network::step_lanes: size mismatch");
+  }
+  tx_nodes_.clear();
+  tx_payload_.clear();
+  for (graph::NodeId v = 0; v < n; ++v) {
+    if (tx_mask[v] & 1) {
+      tx_nodes_.push_back(v);
+      tx_payload_.push_back(payload.at(0, v));
+    }
+  }
+  resolve(tx_nodes_, tx_payload_, sparse_scratch_);
+  out.clear();
+  out.transmitter_count[0] = sparse_scratch_.transmitter_count;
+  out.delivered_count[0] =
+      static_cast<std::uint32_t>(sparse_scratch_.deliveries.size());
+  out.collided_count[0] = sparse_scratch_.collided_count;
+  for (const auto& d : sparse_scratch_.deliveries) {
+    out.delivered.push_back({d.node, 1});
+    if (with_senders) out.deliveries.push_back({d.node, 0, d.from, d.payload});
+  }
+  for (const graph::NodeId v : sparse_scratch_.collided_nodes) {
+    out.collisions.push_back({v, 1});
+  }
+}
+
+void Network::step_lanes_max(std::span<const std::uint64_t> tx_mask,
+                             PayloadPlanes payload, std::span<Payload> best,
+                             BatchOutcome& out) {
+  const graph::NodeId n = graph_->node_count();
+  if (best.size() < n) {
+    throw std::invalid_argument("Network::step_lanes_max: best too small");
+  }
+  step_lanes(tx_mask, payload, out, /*with_senders=*/false);
+  // One lane: fold straight from the sparse deliveries of the round.
+  for (const auto& d : sparse_scratch_.deliveries) {
+    Payload& b = best[d.node];
+    if (b == kNoPayload || d.payload > b) b = d.payload;
+  }
+}
+
 void Network::reset_counters() {
   rounds_ = 0;
   total_tx_ = 0;

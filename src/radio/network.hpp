@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "radio/lane_executor.hpp"
 #include "radio/medium.hpp"
 #include "radio/model.hpp"
 
@@ -42,7 +43,7 @@ struct RoundOutcome {
   std::uint32_t collided_count = 0;    // listeners with >= 2 tx neighbours
 };
 
-class Network {
+class Network : public LaneExecutor {
  public:
   explicit Network(const graph::Graph& g,
                    CollisionModel model = CollisionModel::kNoDetection,
@@ -54,9 +55,11 @@ class Network {
                    MediumKind medium = MediumKind::kScalar,
                    int medium_threads = 0) = delete;
 
-  const graph::Graph& topology() const { return *graph_; }
-  CollisionModel collision_model() const { return model_; }
+  const graph::Graph& topology() const override { return *graph_; }
+  CollisionModel collision_model() const override { return model_; }
   graph::NodeId node_count() const { return graph_->node_count(); }
+  /// LaneExecutor: a Network is the one-lane executor.
+  int lanes() const override { return 1; }
   MediumKind medium_kind() const { return kind_; }
   Medium& medium() { return *medium_; }
   const Medium& medium() const { return *medium_; }
@@ -91,6 +94,19 @@ class Network {
   /// Convenience allocating overload.
   RoundOutcome step(const std::vector<std::uint8_t>& transmit,
                     const std::vector<Payload>& payload);
+
+  /// LaneExecutor entry point: bit 0 of tx_mask[v] (the only lane) says
+  /// whether v transmits; the round resolves through resolve() and is
+  /// reported in batch form (lane masks are all 1s). Cross-round counters
+  /// advance exactly as they do for the other entry points.
+  void step_lanes(std::span<const std::uint64_t> tx_mask,
+                  PayloadPlanes payload, BatchOutcome& out,
+                  bool with_senders = true) override;
+
+  /// Fold variant (see LaneExecutor): deliveries max-combine into best[v].
+  void step_lanes_max(std::span<const std::uint64_t> tx_mask,
+                      PayloadPlanes payload, std::span<Payload> best,
+                      BatchOutcome& out) override;
 
   Round rounds_elapsed() const { return rounds_; }
   std::uint64_t total_transmissions() const { return total_tx_; }

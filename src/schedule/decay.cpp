@@ -1,6 +1,8 @@
 #include "schedule/decay.hpp"
 
+#include <array>
 #include <cmath>
+#include <stdexcept>
 
 #include "util/math.hpp"
 
@@ -16,6 +18,129 @@ std::uint32_t decay_round_length(std::uint32_t n) {
   return std::max<std::uint32_t>(1, util::clog2(n));
 }
 
+namespace {
+
+/// One 64-node block's coin word for Bernoulli(2^-step): the AND of `step`
+/// raw words, exited early once zero (the exit depends only on drawn
+/// values, never on participation, so the stream position stays a pure
+/// function of the draw history).
+std::uint64_t coin_word(util::Rng& rng, std::uint32_t step) {
+  if (step == 0) return ~std::uint64_t{0};  // probability 1
+  if (step >= 64) return 0;                 // matches decay_probability
+  std::uint64_t w = rng();
+  for (std::uint32_t j = 1; j < step && w != 0; ++j) w &= rng();
+  return w;
+}
+
+/// In-place 64x64 bit-matrix transpose about the anti-diagonal (Hacker's
+/// Delight kernel with LSB-first rows and bits): afterwards bit (63-i) of
+/// a[63-j] equals bit j of the original a[i]. Callers flip both indices —
+/// load row 63-l, read row 63-j — to get the main-diagonal transpose
+/// (lane-indexed coin words -> node-indexed lane masks) for free.
+void transpose64(std::array<std::uint64_t, 64>& a) {
+  std::uint64_t m = 0x00000000FFFFFFFFULL;
+  for (int j = 32; j != 0; j >>= 1, m ^= m << j) {
+    for (int k = 0; k < 64; k = (k + j + 1) & ~j) {
+      const std::uint64_t t = (a[k] ^ (a[k + j] >> j)) & m;
+      a[k] ^= t;
+      a[k + j] ^= t << j;
+    }
+  }
+}
+
+}  // namespace
+
+std::uint32_t decay_step_lanes(radio::LaneExecutor& net,
+                               std::span<const std::uint64_t> participates,
+                               radio::PayloadPlanes payload_of,
+                               std::uint32_t step,
+                               std::span<radio::Payload> best,
+                               std::span<util::Rng> lane_rng,
+                               radio::BatchOutcome& out, bool with_senders) {
+  const graph::NodeId n = net.node_count();
+  const int lanes = static_cast<int>(lane_rng.size());
+  if (lanes < 1 || lanes > net.lanes()) {
+    throw std::invalid_argument(
+        "decay_step_lanes: lane_rng size must be in [1, net.lanes()]");
+  }
+  if (participates.size() != n ||
+      best.size() != static_cast<std::size_t>(lanes) * n) {
+    throw std::invalid_argument("decay_step_lanes: plane size mismatch");
+  }
+  const std::size_t blocks = (static_cast<std::size_t>(n) + 63) / 64;
+
+  static thread_local std::vector<std::uint64_t> coin;
+  static thread_local std::vector<std::uint64_t> tx_mask;
+  coin.resize(blocks * static_cast<std::size_t>(lanes));
+  tx_mask.resize(n);
+
+  // Per lane, per block: draw the coin words, block order, so the stream
+  // consumption matches a standalone 1-lane run of the same lane.
+  for (int l = 0; l < lanes; ++l) {
+    util::Rng& rng = lane_rng[static_cast<std::size_t>(l)];
+    std::uint64_t* lane_coin = coin.data() + static_cast<std::size_t>(l) * blocks;
+    for (std::size_t b = 0; b < blocks; ++b) lane_coin[b] = coin_word(rng, step);
+  }
+
+  if (lanes == 1) {
+    for (graph::NodeId v = 0; v < n; ++v) {
+      tx_mask[v] = participates[v] & (coin[v >> 6] >> (v & 63)) & 1;
+    }
+  } else {
+    // Coin words are node-indexed per lane; the transmit mask is
+    // lane-indexed per node. Transpose 64 lanes x 64 nodes per block.
+    std::array<std::uint64_t, 64> w;
+    for (std::size_t b = 0; b < blocks; ++b) {
+      w.fill(0);
+      std::uint64_t any = 0;
+      for (int l = 0; l < lanes; ++l) {
+        const std::uint64_t c = coin[static_cast<std::size_t>(l) * blocks + b];
+        w[static_cast<std::size_t>(63 - l)] = c;
+        any |= c;
+      }
+      const graph::NodeId base = static_cast<graph::NodeId>(b << 6);
+      const graph::NodeId hi = std::min<graph::NodeId>(n, base + 64);
+      if (any == 0) {  // deep steps: whole blocks of silent coins
+        for (graph::NodeId v = base; v < hi; ++v) tx_mask[v] = 0;
+        continue;
+      }
+      transpose64(w);
+      for (graph::NodeId v = base; v < hi; ++v) {
+        tx_mask[v] = participates[v] & w[static_cast<std::size_t>(63 - (v - base))];
+      }
+    }
+  }
+
+  if (with_senders) {
+    net.step_lanes(tx_mask, payload_of, out, /*with_senders=*/true);
+    for (const auto& d : out.deliveries) {
+      radio::Payload& b =
+          best[static_cast<std::size_t>(d.lane) * n + d.node];
+      if (b == radio::kNoPayload || d.payload > b) b = d.payload;
+    }
+  } else {
+    net.step_lanes_max(tx_mask, payload_of, best, out);
+  }
+  std::uint32_t delivered = 0;
+  for (int l = 0; l < lanes; ++l) delivered += out.delivered_count[l];
+  return delivered;
+}
+
+std::uint32_t decay_round_lanes(radio::LaneExecutor& net,
+                                std::span<const std::uint64_t> participates,
+                                radio::PayloadPlanes payload_of,
+                                std::span<radio::Payload> best,
+                                std::span<util::Rng> lane_rng,
+                                radio::BatchOutcome& out) {
+  const std::uint32_t steps = decay_round_length(net.node_count());
+  std::uint32_t delivered = 0;
+  for (std::uint32_t s = 1; s <= steps; ++s) {
+    delivered +=
+        decay_step_lanes(net, participates, payload_of, s, best, lane_rng, out);
+  }
+  return delivered;
+}
+
 std::uint32_t decay_step(radio::Network& net,
                          const std::vector<std::uint8_t>& participates,
                          const std::vector<radio::Payload>& payload_of,
@@ -23,31 +148,21 @@ std::uint32_t decay_step(radio::Network& net,
                          util::Rng& rng,
                          std::vector<graph::NodeId>* received_from) {
   const graph::NodeId n = net.node_count();
-  static thread_local std::vector<graph::NodeId> tx_nodes;
-  static thread_local std::vector<radio::Payload> tx_payload;
-  static thread_local radio::SparseOutcome out;
-  tx_nodes.clear();
-  tx_payload.clear();
-  const double p = decay_probability(step);
-  for (graph::NodeId v = 0; v < n; ++v) {
-    if (participates[v] && rng.bernoulli(p)) {
-      tx_nodes.push_back(v);
-      tx_payload.push_back(payload_of[v]);
-    }
-  }
-  net.resolve(tx_nodes, tx_payload, out);
+  static thread_local std::vector<std::uint64_t> mask;
+  static thread_local radio::BatchOutcome out;
+  mask.resize(n);
+  for (graph::NodeId v = 0; v < n; ++v) mask[v] = participates[v] ? 1 : 0;
+  // Senders are materialized only when the caller wants received_from.
+  const std::uint32_t delivered = decay_step_lanes(
+      net, mask, payload_of, step, best, std::span<util::Rng>(&rng, 1), out,
+      /*with_senders=*/received_from != nullptr);
   if (received_from != nullptr) {
     received_from->assign(n, graph::kInvalidNode);
+    // The outcome names the unique transmitting neighbour directly; no
+    // neighbourhood re-scan needed.
+    for (const auto& d : out.deliveries) (*received_from)[d.node] = d.from;
   }
-  for (const auto& d : out.deliveries) {
-    if (best[d.node] == radio::kNoPayload || d.payload > best[d.node]) {
-      best[d.node] = d.payload;
-    }
-    // The sparse outcome names the unique transmitting neighbour directly;
-    // no neighbourhood re-scan needed.
-    if (received_from != nullptr) (*received_from)[d.node] = d.from;
-  }
-  return static_cast<std::uint32_t>(out.deliveries.size());
+  return delivered;
 }
 
 std::uint32_t decay_round(radio::Network& net,

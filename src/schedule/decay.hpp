@@ -4,11 +4,29 @@
 // step i (1-based) each participating node transmits with probability 2^-i.
 // Lemma 3.1: a listener with >= 1 participating neighbour receives with
 // constant probability per Decay round.
+//
+// The primitive is lane-generic: decay_step_lanes/decay_round_lanes drive
+// any radio::LaneExecutor, so the same implementation runs one scalar
+// replication (Network) or up to 64 batched Monte-Carlo lanes
+// (BatchNetwork) — `participates` becomes a per-node lane mask, payload_of
+// and best become per-lane planes, and each lane draws its Bernoulli coins
+// from its own RNG stream. The single-lane decay_step/decay_round are thin
+// wrappers, so scalar and batched executions share one code path.
+//
+// Coin scheme: Bernoulli(2^-i) is drawn as the AND of i coin words per
+// 64-node block of a lane's stream (bit v mod 64 decides node v), with
+// early exit once the running AND is zero. The draw sequence is a pure
+// function of (lane seed, call sequence) — independent of who participates
+// — so lane l of a batched run consumes exactly the word sequence a
+// standalone scalar run with the same seed consumes, which is what makes
+// batched and per-seed executions byte-identical, lane by lane.
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
+#include "radio/lane_executor.hpp"
 #include "radio/network.hpp"
 #include "util/rng.hpp"
 
@@ -21,9 +39,41 @@ double decay_probability(std::uint32_t step);
 /// at least 1.
 std::uint32_t decay_round_length(std::uint32_t n);
 
-/// Executes ONE step of synchronized Decay over the physical medium.
-/// `participates[v]` marks nodes running Decay this round; each transmits
-/// `payload_of[v]` with probability 2^-step. Listeners that receive update
+/// Executes ONE step of synchronized Decay across all lanes of `net`.
+/// Bit l of participates[v] marks v as running Decay in lane l; each
+/// participant transmits its lane's payload_of value with probability
+/// 2^-step (coins from lane_rng[l], see the coin-scheme note above).
+/// `best` is the lane-major knowledge plane (entry lane * n + v), updated
+/// with the maximum received value. `out` is caller-owned scratch holding
+/// the round's delivered masks and counters on return. lane_rng.size()
+/// selects the lane count; it must not exceed net.lanes(), and best must
+/// hold lane_rng.size() * node_count entries. By default deliveries fold
+/// into `best` through the executor's step_lanes_max (no per-delivery
+/// records — the fast path); pass with_senders = true to materialize
+/// out.deliveries (sender + payload per delivery) for consumers that need
+/// to know who delivered, at the cost of building those records. Returns
+/// the number of deliveries summed over lanes either way.
+std::uint32_t decay_step_lanes(radio::LaneExecutor& net,
+                               std::span<const std::uint64_t> participates,
+                               radio::PayloadPlanes payload_of,
+                               std::uint32_t step,
+                               std::span<radio::Payload> best,
+                               std::span<util::Rng> lane_rng,
+                               radio::BatchOutcome& out,
+                               bool with_senders = false);
+
+/// Executes one full Decay round (decay_round_length(n) steps) across all
+/// lanes. Returns total deliveries over steps and lanes.
+std::uint32_t decay_round_lanes(radio::LaneExecutor& net,
+                                std::span<const std::uint64_t> participates,
+                                radio::PayloadPlanes payload_of,
+                                std::span<radio::Payload> best,
+                                std::span<util::Rng> lane_rng,
+                                radio::BatchOutcome& out);
+
+/// Single-lane convenience over decay_step_lanes. `participates[v]` marks
+/// nodes running Decay this round; each transmits `payload_of[v]` with
+/// probability 2^-step. Listeners that receive update
 /// `best[v] = max(best[v], received)`. Returns the number of deliveries.
 ///
 /// `received_from` (optional, may be null) is filled with the transmitter

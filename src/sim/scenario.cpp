@@ -49,7 +49,13 @@ void ScenarioContext::emit(const util::Table& table, const std::string& title,
 void ScenarioContext::note(const std::string& line) { *out << line << "\n"; }
 
 radio::MediumKind ScenarioContext::medium_kind() const {
-  return radio::parse_medium_kind(cli.get_string("medium", "scalar"));
+  return radio::parse_medium_kind(cli.get_choice(
+      "medium", "scalar",
+      std::span<const std::string_view>(radio::kMediumNames)));
+}
+
+int ScenarioContext::medium_threads() const {
+  return static_cast<int>(cli.get_int("medium-threads", 0));
 }
 
 void ScenarioContext::record(ReplicationRecord r) {
@@ -126,6 +132,9 @@ std::string ScenarioContext::write_json(const std::string& scenario_name,
     body += ", \"rounds\": " + json_number(r.rounds);
     body += ", \"deliveries\": " + json_number(r.deliveries);
     body += ", \"wall_ms\": " + json_number(r.wall_ms);
+    body += ", \"medium\": ";
+    append_json_string(body, r.medium);
+    body += ", \"lanes\": " + std::to_string(r.lanes);
     body += "}";
   }
   body += records.empty() ? "]\n}\n" : "\n  ]\n}\n";

@@ -33,6 +33,8 @@ struct ReplicationRecord {
   double rounds = 0.0;
   double deliveries = 0.0;
   double wall_ms = 0.0;
+  std::string medium;  // radio backend that resolved it ("" = unspecified)
+  int lanes = 1;       // replication lanes it shared its traversals with
 };
 
 /// Everything a scenario needs at run time: parsed flags, the shared
@@ -57,8 +59,13 @@ struct ScenarioContext {
   int reps(int quick_default, int full_default) const;
 
   /// --medium flag: which radio backend medium-aware scenarios should
-  /// drive (scalar when absent). Throws on an unknown name.
+  /// drive (scalar when absent). Throws on an unknown name, listing the
+  /// valid backends.
   radio::MediumKind medium_kind() const;
+
+  /// --medium-threads flag: worker count for the sharded backend (0 =
+  /// backend default: RADIOCAST_SHARD_THREADS env, else hardware).
+  int medium_threads() const;
 
   /// Prints the table with a title banner and, when out_dir is non-empty,
   /// writes `<out_dir>/<csv_name>.csv` (directories created on demand).

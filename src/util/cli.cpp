@@ -88,6 +88,25 @@ bool Cli::get_bool(const std::string& name, bool fallback) const {
                               v + "'");
 }
 
+std::string Cli::get_choice(const std::string& name,
+                            const std::string& fallback,
+                            std::span<const std::string_view> choices) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  for (const std::string_view c : choices) {
+    if (it->second == c) return it->second;
+  }
+  std::ostringstream msg;
+  msg << "flag --" << name << " expects one of";
+  const char* sep = " ";
+  for (const std::string_view c : choices) {
+    msg << sep << c;
+    sep = " | ";
+  }
+  msg << ", got '" << it->second << "'";
+  throw std::invalid_argument(msg.str());
+}
+
 Cli& Cli::describe(const std::string& name, const std::string& help) {
   help_.emplace_back(name, help);
   return *this;

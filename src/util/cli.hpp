@@ -8,9 +8,12 @@
 #pragma once
 
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <optional>
+#include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace radiocast::util {
@@ -28,6 +31,21 @@ class Cli {
                          std::uint64_t fallback) const;
   double get_double(const std::string& name, double fallback) const;
   bool get_bool(const std::string& name, bool fallback) const;
+
+  /// Value of --name constrained to an enumerated set: returns `fallback`
+  /// when the flag is absent, and throws std::invalid_argument naming the
+  /// flag and listing the legal values when the given value is not one of
+  /// `choices` — enum-valued flags must fail loudly, not silently fall
+  /// back to a default.
+  std::string get_choice(const std::string& name, const std::string& fallback,
+                         std::span<const std::string_view> choices) const;
+  std::string get_choice(
+      const std::string& name, const std::string& fallback,
+      std::initializer_list<std::string_view> choices) const {
+    return get_choice(
+        name, fallback,
+        std::span<const std::string_view>(choices.begin(), choices.size()));
+  }
 
   /// Positional (non-flag) arguments in order.
   const std::vector<std::string>& positional() const { return positional_; }

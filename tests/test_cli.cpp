@@ -83,6 +83,29 @@ TEST(Cli, NegativeNumbersViaEquals) {
   EXPECT_EQ(c.get_int("delta", 0), -5);
 }
 
+TEST(Cli, GetChoiceAcceptsListedValuesAndFallsBack) {
+  const Cli c = make({"--medium=bitslice"});
+  EXPECT_EQ(c.get_choice("medium", "scalar", {"scalar", "bitslice", "sharded"}),
+            "bitslice");
+  EXPECT_EQ(c.get_choice("absent", "scalar", {"scalar", "bitslice"}),
+            "scalar");
+}
+
+TEST(Cli, GetChoiceRejectsUnknownValueListingLegalOnes) {
+  const Cli c = make({"--medium=quantum"});
+  try {
+    c.get_choice("medium", "scalar", {"scalar", "bitslice", "sharded"});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("--medium"), std::string::npos);
+    EXPECT_NE(msg.find("scalar"), std::string::npos);
+    EXPECT_NE(msg.find("bitslice"), std::string::npos);
+    EXPECT_NE(msg.find("sharded"), std::string::npos);
+    EXPECT_NE(msg.find("quantum"), std::string::npos);
+  }
+}
+
 TEST(Cli, UsageListsDescribedFlags) {
   Cli c = make({});
   c.describe("n", "number of nodes").describe("seed", "rng seed");

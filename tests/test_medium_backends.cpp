@@ -9,11 +9,14 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <memory>
+#include <tuple>
 #include <vector>
 
 #include "graph/generators.hpp"
 #include "radio/batch_network.hpp"
+#include "radio/medium_sharded.hpp"
 #include "radio/network.hpp"
 #include "sim/runner.hpp"
 #include "util/rng.hpp"
@@ -298,6 +301,129 @@ TEST(MediumBackends, BatchDifferential) {
     check_batch(gnp, model, 5, 0.4, rng);
     check_batch(cliques, model, 64, 0.3, rng);
   }
+}
+
+// Per-lane payload planes: each lane must deliver its own plane's value,
+// and the bitslice kernel must agree with the per-lane scalar
+// decomposition on every (listener, lane, sender, payload) quadruple.
+TEST(MediumBackends, BatchPerLanePayloadPlanes) {
+  util::Rng rng(78);
+  const Graph g = graph::gnp(110, 0.06, rng);
+  const NodeId n = g.node_count();
+  const int lanes = 11;
+  std::vector<std::uint64_t> tx_mask(n, 0);
+  std::vector<Payload> planes(static_cast<std::size_t>(lanes) * n);
+  for (NodeId v = 0; v < n; ++v) {
+    for (int l = 0; l < lanes; ++l) {
+      if (rng.bernoulli(0.3)) tx_mask[v] |= std::uint64_t{1} << l;
+      planes[static_cast<std::size_t>(l) * n + v] =
+          10'000 * static_cast<Payload>(l + 1) + v;
+    }
+  }
+  const PayloadPlanes payload = PayloadPlanes::lane_major(planes, n);
+  EXPECT_FALSE(payload.lane_invariant());
+  EXPECT_EQ(payload.lane_capacity(), lanes);
+
+  auto scalar = make_medium(MediumKind::kScalar, g, CollisionModel::kNoDetection);
+  BatchOutcome want;
+  scalar->resolve_batch(tx_mask, payload, lanes, want);
+  for (const auto& d : want.deliveries) {
+    EXPECT_EQ(d.payload,
+              10'000 * static_cast<Payload>(d.lane + 1) + d.from)
+        << "delivery must carry the sender's own-lane plane value";
+  }
+
+  auto bitslice =
+      make_medium(MediumKind::kBitslice, g, CollisionModel::kNoDetection);
+  BatchOutcome got;
+  bitslice->resolve_batch(tx_mask, payload, lanes, got);
+  auto sorted = [](std::vector<BatchDelivery> v) {
+    std::sort(v.begin(), v.end(),
+              [](const BatchDelivery& a, const BatchDelivery& b) {
+                return std::tie(a.node, a.lane) < std::tie(b.node, b.lane);
+              });
+    return v;
+  };
+  EXPECT_EQ(sorted(got.deliveries), sorted(want.deliveries));
+  EXPECT_EQ(got.delivered_count, want.delivered_count);
+}
+
+// Satellite: BatchNetwork::step under CollisionModel::kDetection — the
+// per-lane collided-listener masks must match what an independent scalar
+// Network reports for each lane, and must stay empty without detection.
+TEST(MediumBackends, BatchNetworkDetectionCollidedMasks) {
+  util::Rng rng(79);
+  const Graph g = graph::gnp(100, 0.08, rng);
+  const NodeId n = g.node_count();
+  const int lanes = 13;
+  for (const MediumKind kind : {MediumKind::kBitslice, MediumKind::kScalar}) {
+    BatchNetwork bn(g, lanes, CollisionModel::kDetection, kind);
+    std::vector<std::uint64_t> tx_mask(n, 0);
+    std::vector<Payload> payload(n);
+    for (NodeId v = 0; v < n; ++v) {
+      payload[v] = v;
+      for (int l = 0; l < lanes; ++l) {
+        // Lane density grows with l so some lanes are collision-heavy.
+        if (rng.bernoulli(0.05 + 0.05 * l)) {
+          tx_mask[v] |= std::uint64_t{1} << l;
+        }
+      }
+    }
+    BatchOutcome out;
+    bn.step(tx_mask, payload, out);
+
+    // Fold collision records (consumers must OR split masks).
+    std::vector<std::uint64_t> got(n, 0);
+    for (const auto& c : out.collisions) got[c.node] |= c.lanes;
+
+    std::uint64_t total_collided = 0;
+    for (int l = 0; l < lanes; ++l) {
+      std::vector<NodeId> tx;
+      std::vector<Payload> pay;
+      for (NodeId v = 0; v < n; ++v) {
+        if (tx_mask[v] >> l & 1) {
+          tx.push_back(v);
+          pay.push_back(payload[v]);
+        }
+      }
+      Network ref(g, CollisionModel::kDetection);
+      SparseOutcome so;
+      ref.resolve(tx, pay, so);
+      ASSERT_EQ(out.collided_count[l], so.collided_count)
+          << to_string(kind) << " lane " << l;
+      total_collided += so.collided_count;
+      std::vector<std::uint64_t> want_bit(n, 0);
+      for (const NodeId v : so.collided_nodes) want_bit[v] = 1;
+      for (NodeId v = 0; v < n; ++v) {
+        EXPECT_EQ(got[v] >> l & 1, want_bit[v])
+            << to_string(kind) << " lane " << l << " node " << v;
+      }
+    }
+    EXPECT_EQ(bn.total_collisions(), total_collided) << to_string(kind);
+
+    // Without detection, identities must not leak (counters still count).
+    BatchNetwork silent(g, lanes, CollisionModel::kNoDetection, kind);
+    BatchOutcome silent_out;
+    silent.step(tx_mask, payload, silent_out);
+    EXPECT_TRUE(silent_out.collisions.empty()) << to_string(kind);
+    EXPECT_EQ(silent.total_collisions(), total_collided) << to_string(kind);
+  }
+}
+
+// Satellite: RADIOCAST_SHARD_THREADS overrides the sharded backend's
+// hardware-derived default worker count (CI hosts report 1 core).
+TEST(MediumBackends, ShardThreadsEnvOverride) {
+  util::Rng rng(80);
+  const Graph g = graph::gnp(60, 0.1, rng);
+  ASSERT_EQ(setenv("RADIOCAST_SHARD_THREADS", "5", 1), 0);
+  {
+    ShardedMedium m(g, CollisionModel::kNoDetection, /*threads=*/0);
+    EXPECT_EQ(m.shard_count(), 5);
+    // An explicit thread count still wins over the environment.
+    ShardedMedium explicit_m(g, CollisionModel::kNoDetection, 2);
+    EXPECT_EQ(explicit_m.shard_count(), 2);
+  }
+  unsetenv("RADIOCAST_SHARD_THREADS");
 }
 
 TEST(MediumBackends, BatchNetworkCountersMatchScalarTotals) {
