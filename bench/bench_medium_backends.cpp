@@ -49,7 +49,8 @@ constexpr radio::Payload kFloodValue = 42;
 /// {rounds to inform the source's component, total deliveries, wall ms}.
 std::vector<double> flood_scalar(const graph::Graph& g, graph::NodeId src,
                                  std::uint32_t reachable, std::uint64_t cap,
-                                 std::uint64_t seed) {
+                                 std::uint64_t seed,
+                                 radio::PhaseTimers& phases) {
   const double t0 = now_ms();
   const graph::NodeId n = g.node_count();
   const std::uint32_t depth = schedule::decay_round_length(n);
@@ -84,6 +85,7 @@ std::vector<double> flood_scalar(const graph::Graph& g, graph::NodeId src,
     }
     ++r;
   }
+  phases = net.medium().phase_timers();
   return {static_cast<double>(r),
           static_cast<double>(net.total_deliveries()), now_ms() - t0};
 }
@@ -93,7 +95,8 @@ std::vector<double> flood_scalar(const graph::Graph& g, graph::NodeId src,
 /// vector per lane (wall is the batch wall divided across lanes).
 std::vector<std::vector<double>> flood_bitslice(
     const graph::Graph& g, graph::NodeId src, std::uint32_t reachable,
-    std::uint64_t cap, const std::vector<std::uint64_t>& seeds) {
+    std::uint64_t cap, const std::vector<std::uint64_t>& seeds,
+    radio::PhaseTimers& phases) {
   const double t0 = now_ms();
   const graph::NodeId n = g.node_count();
   const int lanes = static_cast<int>(seeds.size());
@@ -152,6 +155,7 @@ std::vector<std::vector<double>> flood_bitslice(
       }
     }
   }
+  phases = bn.medium().phase_timers();
   const double wall = now_ms() - t0;
   std::vector<std::vector<double>> result;
   result.reserve(static_cast<std::size_t>(lanes));
@@ -211,8 +215,12 @@ RADIOCAST_SCENARIO(medium_backends, "medium-backends",
       const double t0 = now_ms();
       const auto stats = ctx.runner.replicate(
           reps, seed, 3, [&](int rep, std::uint64_t rep_seed) {
-            auto m = flood_scalar(g, src, reachable, cap, rep_seed);
-            ctx.record({"scalar", rep, m[0], m[1], m[2], "scalar", 1});
+            radio::PhaseTimers phases;
+            auto m = flood_scalar(g, src, reachable, cap, rep_seed, phases);
+            ctx.record({"scalar", rep, m[0], m[1], m[2], "scalar", 1, "",
+                        static_cast<double>(phases.traverse_ns),
+                        static_cast<double>(phases.output_ns),
+                        static_cast<double>(phases.recover_ns)});
             return m;
           });
       scalar_wall = now_ms() - t0;
@@ -223,11 +231,18 @@ RADIOCAST_SCENARIO(medium_backends, "medium-backends",
       const auto stats = ctx.runner.replicate_batched(
           reps, seed, 3, radio::kMaxLanes,
           [&](int first_rep, const std::vector<std::uint64_t>& seeds) {
-            auto lanes = flood_bitslice(g, src, reachable, cap, seeds);
+            radio::PhaseTimers phases;
+            auto lanes = flood_bitslice(g, src, reachable, cap, seeds, phases);
+            const double share = 1.0 / static_cast<double>(lanes.size());
             for (std::size_t l = 0; l < lanes.size(); ++l) {
+              // Mask-only flood: no sender recovery runs, so no strategy
+              // is recorded and recover_ns stays 0 by construction.
               ctx.record({"bitslice", first_rep + static_cast<int>(l),
                           lanes[l][0], lanes[l][1], lanes[l][2], "bitslice",
-                          static_cast<int>(seeds.size())});
+                          static_cast<int>(seeds.size()), "",
+                          static_cast<double>(phases.traverse_ns) * share,
+                          static_cast<double>(phases.output_ns) * share,
+                          static_cast<double>(phases.recover_ns) * share});
             }
             return lanes;
           });

@@ -17,6 +17,11 @@
 // planes carry each lane's own best[] knowledge, lanes terminate on their
 // own clocks, and the batch returns per-seed success/rounds identical to
 // per-seed scalar runs.
+//
+// --recovery=rowscan|idplanes|auto pins the batch medium's sender-recovery
+// path (auto when absent); every JSON record carries the strategy plus the
+// medium's per-phase nanosecond breakdown (kernel traversal vs output scan
+// vs sender recovery), so the recovery hot spot is measured, not asserted.
 #include <chrono>
 #include <cstdint>
 #include <string>
@@ -45,14 +50,16 @@ constexpr radio::Payload kDecayValue = 7;
 
 /// One replication (= one lane batch) of Part 1's Decay workload: all
 /// nodes participate for `cycles` full Decay rounds. Returns one
-/// {rounds, deliveries, wall ms} vector per lane.
+/// {rounds, deliveries, wall ms} vector per lane; `phases` receives the
+/// medium's per-phase breakdown for the whole batch.
 std::vector<std::vector<double>> decay_lanes_body(
     const graph::Graph& g, radio::LaneExecutor& net, int cycles,
-    const std::vector<std::uint64_t>& seeds) {
+    const std::vector<std::uint64_t>& seeds, radio::PhaseTimers& phases) {
   const double t0 = now_ms();
   const graph::NodeId n = g.node_count();
   const int lanes = static_cast<int>(seeds.size());
   const std::uint64_t lane_mask = radio::lane_mask(lanes);
+  net.medium().reset_phase_timers();
   std::vector<util::Rng> rngs;
   rngs.reserve(seeds.size());
   for (const std::uint64_t s : seeds) rngs.emplace_back(s);
@@ -72,6 +79,7 @@ std::vector<std::vector<double>> decay_lanes_body(
       }
     }
   }
+  phases = net.medium().phase_timers();
   const double rounds = static_cast<double>(cycles) * steps;
   const double wall = now_ms() - t0;
   std::vector<std::vector<double>> result;
@@ -84,6 +92,42 @@ std::vector<std::vector<double>> decay_lanes_body(
   return result;
 }
 
+/// Each replication's JSON record carries its share of the batch's phase
+/// breakdown, mirroring how the batch wall time is attributed per lane.
+sim::ReplicationRecord make_record(const std::string& label, int rep,
+                                   const std::vector<double>& metrics,
+                                   const std::string& medium, int lanes,
+                                   const std::string& recovery,
+                                   const radio::PhaseTimers& phases) {
+  sim::ReplicationRecord r;
+  r.label = label;
+  r.rep = rep;
+  r.rounds = metrics[0];
+  r.deliveries = metrics[1];
+  r.wall_ms = metrics[2];
+  r.medium = medium;
+  r.lanes = lanes;
+  r.recovery = recovery;
+  r.phase_traverse_ns = static_cast<double>(phases.traverse_ns) / lanes;
+  r.phase_output_ns = static_cast<double>(phases.output_ns) / lanes;
+  r.phase_recover_ns = static_cast<double>(phases.recover_ns) / lanes;
+  return r;
+}
+
+std::string phase_note(const std::string& label,
+                       const radio::PhaseTimers& phases) {
+  auto ms = [](std::uint64_t ns) {
+    return std::to_string(ns / 1000000) + "." +
+           std::to_string(ns / 100000 % 10) + " ms";
+  };
+  return "(" + label + " phase split per batch: traverse " +
+         ms(phases.traverse_ns) + ", output " + ms(phases.output_ns) +
+         ", recover " + ms(phases.recover_ns) + "; recovery rounds: " +
+         std::to_string(phases.rowscan_rounds) + " rowscan / " +
+         std::to_string(phases.idplane_rounds) + " idplanes / " +
+         std::to_string(phases.constfold_rounds) + " constfold)";
+}
+
 }  // namespace
 
 RADIOCAST_SCENARIO(protocol_lanes, "protocol-lanes",
@@ -94,10 +138,13 @@ RADIOCAST_SCENARIO(protocol_lanes, "protocol-lanes",
   const std::uint64_t seed = ctx.seed(17);
   const int reps = ctx.reps(64, 64);
   // The scalar rows are the per-seed reference; --medium selects the
-  // backend the lane-batched rows run on (bitslice unless overridden).
+  // backend the lane-batched rows run on (bitslice unless overridden) and
+  // --recovery pins its sender-recovery path (auto otherwise).
   const radio::MediumKind lanes_medium =
       ctx.cli.has("medium") ? ctx.medium_kind() : radio::MediumKind::kBitslice;
   const std::string lanes_medium_name{radio::to_string(lanes_medium)};
+  const radio::RecoveryStrategy recovery = ctx.recovery_strategy();
+  const std::string recovery_name{radio::to_string(recovery)};
 
   auto add_row = [&](util::Table& t, const std::string& label, int reps_n,
                      const std::vector<util::OnlineStats>& stats, double wall,
@@ -123,14 +170,16 @@ RADIOCAST_SCENARIO(protocol_lanes, "protocol-lanes",
     util::Table t({"protocol", "reps", "rounds", "wall/rep ms", "wall ms",
                    "reps/s", "speedup"});
     double scalar_wall = 0.0;
+    radio::PhaseTimers lanes_phases;
     {
       const double t0 = now_ms();
       const auto stats = ctx.runner.replicate(
           reps, seed, 3, [&](int rep, std::uint64_t rep_seed) {
             radio::Network net(g);
-            auto lanes = decay_lanes_body(g, net, cycles, {rep_seed});
-            ctx.record({"decay-scalar", rep, lanes[0][0], lanes[0][1],
-                        lanes[0][2], "scalar", 1});
+            radio::PhaseTimers phases;
+            auto lanes = decay_lanes_body(g, net, cycles, {rep_seed}, phases);
+            ctx.record(make_record("decay-scalar", rep, lanes[0], "scalar", 1,
+                                   "", phases));
             return lanes[0];
           });
       scalar_wall = now_ms() - t0;
@@ -143,14 +192,16 @@ RADIOCAST_SCENARIO(protocol_lanes, "protocol-lanes",
           [&](int first_rep, const std::vector<std::uint64_t>& seeds) {
             radio::BatchNetwork bn(g, static_cast<int>(seeds.size()),
                                    radio::CollisionModel::kNoDetection,
-                                   lanes_medium);
-            auto lanes = decay_lanes_body(g, bn, cycles, seeds);
+                                   lanes_medium, recovery);
+            radio::PhaseTimers phases;
+            auto lanes = decay_lanes_body(g, bn, cycles, seeds, phases);
             for (std::size_t l = 0; l < lanes.size(); ++l) {
-              ctx.record({"decay-lanes", first_rep + static_cast<int>(l),
-                          lanes[l][0], lanes[l][1], lanes[l][2],
-                          lanes_medium_name,
-                          static_cast<int>(seeds.size())});
+              ctx.record(make_record(
+                  "decay-lanes", first_rep + static_cast<int>(l), lanes[l],
+                  lanes_medium_name, static_cast<int>(seeds.size()),
+                  recovery_name, phases));
             }
+            if (first_rep == 0) lanes_phases = phases;
             return lanes;
           });
       add_row(t, "decay-lanes", reps, stats, now_ms() - t0, scalar_wall);
@@ -163,7 +214,8 @@ RADIOCAST_SCENARIO(protocol_lanes, "protocol-lanes",
              "protocol_lanes_decay");
     ctx.note("(same lane-generic decay_round_lanes both rows; per-seed "
              "results are byte-identical — acceptance bar is >= 4x scalar "
-             "reps/s)");
+             "reps/s; lanes recovery=" + recovery_name + ")");
+    ctx.note(phase_note("decay-lanes", lanes_phases));
   }
 
   // ---- Part 2: lane-batched Decay-relay broadcast / Compete --------------
@@ -181,6 +233,7 @@ RADIOCAST_SCENARIO(protocol_lanes, "protocol-lanes",
                    "reps/s", "speedup"});
     double scalar_wall = 0.0;
     double success_scalar = 0.0, success_lanes = 0.0;
+    radio::PhaseTimers broadcast_phases;
     {
       const double t0 = now_ms();
       const auto stats = ctx.runner.replicate(
@@ -191,10 +244,11 @@ RADIOCAST_SCENARIO(protocol_lanes, "protocol-lanes",
             const auto lane =
                 core::compete_batched(net, sources, params, one).front();
             const double wall = now_ms() - r0;
-            ctx.record({"broadcast-scalar", rep,
-                        static_cast<double>(lane.rounds),
-                        static_cast<double>(lane.deliveries), wall, "scalar",
-                        1});
+            ctx.record(make_record(
+                "broadcast-scalar", rep,
+                {static_cast<double>(lane.rounds),
+                 static_cast<double>(lane.deliveries), wall},
+                "scalar", 1, "", net.medium().phase_timers()));
             return std::vector<double>{static_cast<double>(lane.rounds),
                                        static_cast<double>(lane.deliveries),
                                        wall, lane.success ? 1.0 : 0.0};
@@ -209,22 +263,28 @@ RADIOCAST_SCENARIO(protocol_lanes, "protocol-lanes",
           breps, seed, 4, radio::kMaxLanes,
           [&](int first_rep, const std::vector<std::uint64_t>& seeds) {
             const double b0 = now_ms();
-            const auto lanes =
-                core::compete_batched(g, sources, params, seeds, lanes_medium);
+            radio::BatchNetwork bn(g, static_cast<int>(seeds.size()),
+                                   radio::CollisionModel::kNoDetection,
+                                   lanes_medium, recovery);
+            const auto lanes = core::compete_batched(bn, sources, params,
+                                                     seeds);
+            const auto phases = bn.medium().phase_timers();
             const double wall = (now_ms() - b0) / lanes.size();
             std::vector<std::vector<double>> metrics;
             metrics.reserve(lanes.size());
             for (std::size_t l = 0; l < lanes.size(); ++l) {
               const auto& lane = lanes[l];
-              ctx.record({"broadcast-lanes", first_rep + static_cast<int>(l),
-                          static_cast<double>(lane.rounds),
-                          static_cast<double>(lane.deliveries), wall,
-                          lanes_medium_name,
-                          static_cast<int>(seeds.size())});
+              ctx.record(make_record(
+                  "broadcast-lanes", first_rep + static_cast<int>(l),
+                  {static_cast<double>(lane.rounds),
+                   static_cast<double>(lane.deliveries), wall},
+                  lanes_medium_name, static_cast<int>(seeds.size()),
+                  recovery_name, phases));
               metrics.push_back({static_cast<double>(lane.rounds),
                                  static_cast<double>(lane.deliveries), wall,
                                  lane.success ? 1.0 : 0.0});
             }
+            if (first_rep == 0) broadcast_phases = phases;
             return metrics;
           });
       success_lanes = stats[3].mean();
@@ -237,5 +297,6 @@ RADIOCAST_SCENARIO(protocol_lanes, "protocol-lanes",
     ctx.note("(success rate scalar=" + std::to_string(success_scalar) +
              " lanes=" + std::to_string(success_lanes) +
              " — identical seeds, identical per-lane results)");
+    ctx.note(phase_note("broadcast-lanes", broadcast_phases));
   }
 }

@@ -8,10 +8,13 @@
 // RADIOCAST_SCENARIO registrations in bench/bench_*.cpp); the driver just
 // dispatches the subcommand and owns the shared replication runner.
 #include <algorithm>
+#include <array>
 #include <chrono>
 #include <exception>
 #include <iostream>
+#include <span>
 #include <string>
+#include <string_view>
 
 #include "radio/medium.hpp"
 #include "sim/runner.hpp"
@@ -33,13 +36,12 @@ void print_list(const radiocast::sim::ScenarioRegistry& registry) {
   }
 }
 
-std::string medium_names() {
-  std::string out;
-  for (const std::string_view n : radiocast::radio::kMediumNames) {
-    out += " ";
-    out += n;
-  }
-  return out;
+/// --help shows exactly what the get_choice validation will accept, via
+/// the shared util::Cli::render_choices formatting.
+template <std::size_t N>
+std::string choice_values(const std::array<std::string_view, N>& names) {
+  return radiocast::util::Cli::render_choices(
+      std::span<const std::string_view>(names));
 }
 
 void print_usage(const char* program) {
@@ -52,8 +54,14 @@ void print_usage(const char* program) {
       << "  --reps=R       replications per sweep point\n"
       << "  --threads=N    worker threads for replications (default 1);\n"
       << "                 results are identical for any N\n"
-      << "  --medium=M     radio backend for medium-aware scenarios\n"
-      << "                 (default scalar):" << medium_names() << "\n"
+      << "  --medium=" << choice_values(radiocast::radio::kMediumNames)
+      << "\n"
+      << "                 radio backend for medium-aware scenarios\n"
+      << "                 (default scalar)\n"
+      << "  --recovery=" << choice_values(radiocast::radio::kRecoveryNames)
+      << "\n"
+      << "                 sender-recovery strategy for batch media\n"
+      << "                 (default auto = per-round cost prediction)\n"
       << "  --medium-threads=N\n"
       << "                 sharded-backend worker count (default 0 = the\n"
       << "                 RADIOCAST_SHARD_THREADS env var, else hardware)\n"
@@ -99,10 +107,11 @@ int main(int argc, char** argv) {
 
     Runner runner(static_cast<int>(cli.get_int("threads", 1)));
     ScenarioContext ctx(cli, runner);
-    // Validate --medium for every scenario up front: scenarios that ignore
-    // the flag would otherwise silently run their default backend on a
-    // typo'd value.
+    // Validate the enum-valued flags for every scenario up front:
+    // scenarios that ignore them would otherwise silently run their
+    // defaults on a typo'd value.
     if (cli.has("medium")) (void)ctx.medium_kind();
+    if (cli.has("recovery")) (void)ctx.recovery_strategy();
     if (cli.has("out")) ctx.out_dir = cli.get_string("out", "bench_out");
     const auto start = std::chrono::steady_clock::now();
     registry.run(cli.subcommand(), ctx);

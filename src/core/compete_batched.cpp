@@ -137,17 +137,19 @@ std::vector<CompeteLaneResult> compete_batched(
 std::vector<CompeteLaneResult> compete_batched(
     const graph::Graph& g, const std::vector<CompeteSource>& sources,
     const BatchedCompeteParams& params, std::span<const std::uint64_t> seeds,
-    radio::MediumKind medium) {
+    radio::MediumKind medium, radio::RecoveryStrategy recovery) {
   radio::BatchNetwork net(g, static_cast<int>(seeds.size()),
-                          radio::CollisionModel::kNoDetection, medium);
+                          radio::CollisionModel::kNoDetection, medium,
+                          recovery);
   return compete_batched(net, sources, params, seeds);
 }
 
 std::vector<CompeteLaneResult> broadcast_batched(
     const graph::Graph& g, graph::NodeId source, radio::Payload message,
     const BatchedCompeteParams& params, std::span<const std::uint64_t> seeds,
-    radio::MediumKind medium) {
-  return compete_batched(g, {{source, message}}, params, seeds, medium);
+    radio::MediumKind medium, radio::RecoveryStrategy recovery) {
+  return compete_batched(g, {{source, message}}, params, seeds, medium,
+                         recovery);
 }
 
 }  // namespace radiocast::core

@@ -64,17 +64,21 @@ std::vector<CompeteLaneResult> compete_batched(
     const BatchedCompeteParams& params, std::span<const std::uint64_t> seeds);
 
 /// Convenience: owns a BatchNetwork over `g` with seeds.size() lanes on
-/// the given backend (bitslice = one traversal per round for all seeds).
+/// the given backend (bitslice = one traversal per round for all seeds);
+/// `recovery` pins the backend's sender-recovery path (results are
+/// identical for every setting — only the cost moves).
 std::vector<CompeteLaneResult> compete_batched(
     const graph::Graph& g, const std::vector<CompeteSource>& sources,
     const BatchedCompeteParams& params, std::span<const std::uint64_t> seeds,
-    radio::MediumKind medium = radio::MediumKind::kBitslice);
+    radio::MediumKind medium = radio::MediumKind::kBitslice,
+    radio::RecoveryStrategy recovery = radio::RecoveryStrategy::kAuto);
 
 /// Broadcast = Compete with S = {source}: N seeded replications of the
 /// Decay-relay broadcast of `message` from `source`.
 std::vector<CompeteLaneResult> broadcast_batched(
     const graph::Graph& g, graph::NodeId source, radio::Payload message,
     const BatchedCompeteParams& params, std::span<const std::uint64_t> seeds,
-    radio::MediumKind medium = radio::MediumKind::kBitslice);
+    radio::MediumKind medium = radio::MediumKind::kBitslice,
+    radio::RecoveryStrategy recovery = radio::RecoveryStrategy::kAuto);
 
 }  // namespace radiocast::core

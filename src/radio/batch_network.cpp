@@ -5,12 +5,13 @@
 namespace radiocast::radio {
 
 BatchNetwork::BatchNetwork(const graph::Graph& g, int lanes,
-                           CollisionModel model, MediumKind medium)
+                           CollisionModel model, MediumKind medium,
+                           RecoveryStrategy recovery)
     : graph_(&g),
       model_(model),
       kind_(medium),
       lanes_(lanes),
-      medium_(make_medium(medium, g, model)) {
+      medium_(make_medium(medium, g, model, /*threads=*/0, recovery)) {
   if (lanes < 1 || lanes > kMaxLanes) {
     throw std::invalid_argument("BatchNetwork: lanes out of range");
   }

@@ -22,20 +22,29 @@ namespace radiocast::radio {
 
 class BatchNetwork : public LaneExecutor {
  public:
-  explicit BatchNetwork(const graph::Graph& g, int lanes = kMaxLanes,
-                        CollisionModel model = CollisionModel::kNoDetection,
-                        MediumKind medium = MediumKind::kBitslice);
+  explicit BatchNetwork(
+      const graph::Graph& g, int lanes = kMaxLanes,
+      CollisionModel model = CollisionModel::kNoDetection,
+      MediumKind medium = MediumKind::kBitslice,
+      RecoveryStrategy recovery = RecoveryStrategy::kAuto);
   /// The network aliases the graph; binding a temporary would dangle.
-  explicit BatchNetwork(graph::Graph&& g, int lanes = kMaxLanes,
-                        CollisionModel model = CollisionModel::kNoDetection,
-                        MediumKind medium = MediumKind::kBitslice) = delete;
+  explicit BatchNetwork(
+      graph::Graph&& g, int lanes = kMaxLanes,
+      CollisionModel model = CollisionModel::kNoDetection,
+      MediumKind medium = MediumKind::kBitslice,
+      RecoveryStrategy recovery = RecoveryStrategy::kAuto) = delete;
 
   const graph::Graph& topology() const override { return *graph_; }
   CollisionModel collision_model() const override { return model_; }
   graph::NodeId node_count() const { return graph_->node_count(); }
   int lanes() const override { return lanes_; }
   MediumKind medium_kind() const { return kind_; }
-  Medium& medium() { return *medium_; }
+  /// The sender-recovery knob the medium was constructed with; see
+  /// RecoveryStrategy (only the bitslice backend honours it).
+  RecoveryStrategy recovery_strategy() const {
+    return medium_->recovery_strategy();
+  }
+  Medium& medium() override { return *medium_; }
 
   /// Resolves one round in all lanes: bit l of tx_mask[v] says whether v
   /// transmits in lane l; `payload` is what each node sends — one shared

@@ -31,6 +31,11 @@ class LaneExecutor {
   /// Replication lanes resolved per step: 1 for Network, up to kMaxLanes
   /// for BatchNetwork.
   virtual int lanes() const = 0;
+  /// The backend resolving this executor's rounds — the seam for the
+  /// sender-recovery knob and the per-phase timers, so lane-generic
+  /// callers (benches, tests) can reach both without knowing whether they
+  /// drive a Network or a BatchNetwork.
+  virtual Medium& medium() = 0;
 
   /// Resolves one synchronous round across all lanes: bit l of tx_mask[v]
   /// says whether v transmits in lane l (bits >= lanes() are ignored);

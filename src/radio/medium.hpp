@@ -75,6 +75,55 @@ std::string_view to_string(MediumKind kind);
 /// (message lists the legal values).
 MediumKind parse_medium_kind(std::string_view name);
 
+/// How a backend that defers sender identification (the bitslice batch
+/// kernel) recovers, for each delivered (listener, lane), WHO transmitted:
+///
+///   kRowScan  — re-walk each winning listener's CSR row against the
+///               transmit masks until every won lane names its sender
+///               (output-sized, but random reads over the whole adjacency
+///               when most listeners win somewhere)
+///   kIdPlanes — accumulate ceil(log2 n) sender-id XOR planes per touched
+///               listener during the traversal itself; on a won lane the
+///               XOR of the transmitted ids IS the unique sender's id, so
+///               recovery reads it back in O(idbits) with no second CSR pass
+///   kAuto     — predict the cheaper one per round: id planes cost
+///               ~idbits x traversal volume, the row scan ~the delivered
+///               row volume of the previous sender-recovering round
+///
+/// Results are identical under every strategy (and on backends that
+/// identify senders inline and ignore the knob entirely); only the cost
+/// moves. Pinned by the recovery differential tests.
+enum class RecoveryStrategy : std::uint8_t { kAuto, kRowScan, kIdPlanes };
+
+/// Canonical strategy names, indexed by RecoveryStrategy — the single
+/// source of truth for to_string, parse_recovery_strategy, and the
+/// --recovery= flag validation.
+inline constexpr std::array<std::string_view, 3> kRecoveryNames{
+    "auto", "rowscan", "idplanes"};
+
+std::string_view to_string(RecoveryStrategy strategy);
+/// Parses a kRecoveryNames entry; throws std::invalid_argument otherwise
+/// (message lists the legal values).
+RecoveryStrategy parse_recovery_strategy(std::string_view name);
+
+/// Cumulative wall-time breakdown of a medium's resolve calls, split along
+/// the batch kernel's phases so "where does a round go" is measured, not
+/// asserted. Backends attribute what they can cleanly separate (fused
+/// phases count toward the phase they are fused into) and leave the rest
+/// zero; the rowscan/idplane round counters say which recovery path ran.
+struct PhaseTimers {
+  std::uint64_t traverse_ns = 0;  // plane accumulation / kernel traversal
+  std::uint64_t output_ns = 0;    // output scan: masks, tallies, re-zeroing
+  std::uint64_t recover_ns = 0;   // sender recovery (row scan or id planes)
+  std::uint64_t rounds = 0;       // resolve calls accumulated
+  std::uint64_t rowscan_rounds = 0;   // rounds recovered by row scan
+  std::uint64_t idplane_rounds = 0;   // rounds recovered from id planes
+  /// Rounds where the max-fold proved every transmitter carried one
+  /// payload value, so deliveries folded with no sender identification.
+  std::uint64_t constfold_rounds = 0;
+  void reset() { *this = PhaseTimers{}; }
+};
+
 /// Lane capacity of the batch entry point (width of the bitplane words).
 constexpr int kMaxLanes = 64;
 
@@ -206,6 +255,19 @@ class Medium {
   const graph::Graph& topology() const { return *graph_; }
   CollisionModel collision_model() const { return model_; }
 
+  /// Sender-recovery strategy knob (see RecoveryStrategy). Only honoured
+  /// by backends that defer sender identification (bitslice); the others
+  /// identify senders inline and produce identical results regardless.
+  RecoveryStrategy recovery_strategy() const { return recovery_; }
+  void set_recovery_strategy(RecoveryStrategy strategy) {
+    recovery_ = strategy;
+  }
+
+  /// Per-phase timing accumulated since construction / the last reset.
+  /// Zeroed fields mean the backend does not instrument that phase.
+  const PhaseTimers& phase_timers() const { return timers_; }
+  void reset_phase_timers() { timers_.reset(); }
+
   /// Unified single-instance entry point: resolves one round given only
   /// the transmitter list (everyone else listens). Duplicate transmitters
   /// are counted once (first occurrence's payload wins); transmitters are
@@ -243,8 +305,13 @@ class Medium {
                                  std::span<Payload> best, BatchOutcome& out);
 
  protected:
+  /// Monotonic nanosecond clock for the phase timers.
+  static std::uint64_t now_ns();
+
   const graph::Graph* graph_;
   CollisionModel model_;
+  RecoveryStrategy recovery_ = RecoveryStrategy::kAuto;
+  PhaseTimers timers_;
 
  private:
   // Scratch for the default per-lane resolve_batch decomposition.
@@ -258,8 +325,10 @@ class Medium {
 };
 
 /// Factory. `threads` only matters for kSharded: the shard/worker count,
-/// 0 meaning a hardware-derived default.
-std::unique_ptr<Medium> make_medium(MediumKind kind, const graph::Graph& g,
-                                    CollisionModel model, int threads = 0);
+/// 0 meaning a hardware-derived default. `recovery` seeds the
+/// sender-recovery knob (only the bitslice backend honours it).
+std::unique_ptr<Medium> make_medium(
+    MediumKind kind, const graph::Graph& g, CollisionModel model,
+    int threads = 0, RecoveryStrategy recovery = RecoveryStrategy::kAuto);
 
 }  // namespace radiocast::radio

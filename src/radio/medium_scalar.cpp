@@ -40,12 +40,19 @@ void ScalarMedium::resolve(std::span<const graph::NodeId> transmitters,
   }
   out.transmitter_count = static_cast<std::uint32_t>(txlist_.size());
 
+  const std::uint64_t t0 = now_ns();
   const graph::NodeId n = graph_->node_count();
   if (2 * work >= n) {
     resolve_dense(out);
   } else {
     resolve_frontier(out);
   }
+  // The scalar kernel identifies senders during its traversal, so the
+  // whole round is traverse + output with no recovery phase; each path
+  // accounts for its own output sweep.
+  timers_.traverse_ns += output_start_ns_ - t0;
+  timers_.output_ns += now_ns() - output_start_ns_;
+  ++timers_.rounds;
 }
 
 void ScalarMedium::resolve_frontier(SparseOutcome& out) {
@@ -63,6 +70,7 @@ void ScalarMedium::resolve_frontier(SparseOutcome& out) {
       tx_from_[v] = u;
     }
   }
+  output_start_ns_ = now_ns();
   for (const graph::NodeId v : touched_) {
     if (tx_stamp_[v] == epoch_) continue;  // half-duplex
     if (tx_count_[v] == 1) {
@@ -82,6 +90,7 @@ void ScalarMedium::resolve_dense(SparseOutcome& out) {
   for (const graph::NodeId u : txlist_) {
     for (const graph::NodeId v : graph_->neighbors(u)) ++dense_count_[v];
   }
+  output_start_ns_ = now_ns();
   // A delivered listener has exactly one transmitting neighbour, so this
   // second traversal emits it exactly once — and in the same first-touch
   // order the frontier path produces.

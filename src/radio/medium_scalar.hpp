@@ -52,6 +52,9 @@ class ScalarMedium final : public Medium {
   std::vector<std::uint32_t> dense_count_;
 
   std::uint64_t epoch_ = 0;
+  // Set by each path at its accumulate/emit boundary so resolve() can
+  // split the phase timers without timing inside the hot loops.
+  std::uint64_t output_start_ns_ = 0;
 };
 
 }  // namespace radiocast::radio

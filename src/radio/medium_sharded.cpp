@@ -165,6 +165,7 @@ void ShardedMedium::resolve(std::span<const graph::NodeId> transmitters,
   out.transmitter_count = 0;
   out.collided_count = 0;
 
+  const std::uint64_t t0 = now_ns();
   ++epoch_;
   txlist_.clear();
   std::uint64_t work = 0;
@@ -197,6 +198,12 @@ void ShardedMedium::resolve(std::span<const graph::NodeId> transmitters,
     cv_done_.wait(lock, [&] { return done_workers_ == workers_.size(); });
   }
 
+  // Shard resolution fuses accumulation and emission per shard, so the
+  // whole parallel section counts as traversal; only the merge below is
+  // attributable to the output phase.
+  const std::uint64_t t1 = now_ns();
+  timers_.traverse_ns += t1 - t0;
+
   // Deterministic merge: shard-index order, regardless of which worker ran
   // which shard.
   for (const auto& shard : shards_) {
@@ -206,6 +213,8 @@ void ShardedMedium::resolve(std::span<const graph::NodeId> transmitters,
                               shard.collided.begin(), shard.collided.end());
     out.collided_count += shard.collided_count;
   }
+  timers_.output_ns += now_ns() - t1;
+  ++timers_.rounds;
 }
 
 }  // namespace radiocast::radio

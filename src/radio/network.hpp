@@ -61,7 +61,7 @@ class Network : public LaneExecutor {
   /// LaneExecutor: a Network is the one-lane executor.
   int lanes() const override { return 1; }
   MediumKind medium_kind() const { return kind_; }
-  Medium& medium() { return *medium_; }
+  Medium& medium() override { return *medium_; }
   const Medium& medium() const { return *medium_; }
 
   /// Legacy nested names; the types now live at namespace scope so the

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "radio/simd.hpp"
 #include "util/math.hpp"
 
 namespace radiocast::schedule {
@@ -30,22 +31,6 @@ std::uint64_t coin_word(util::Rng& rng, std::uint32_t step) {
   std::uint64_t w = rng();
   for (std::uint32_t j = 1; j < step && w != 0; ++j) w &= rng();
   return w;
-}
-
-/// In-place 64x64 bit-matrix transpose about the anti-diagonal (Hacker's
-/// Delight kernel with LSB-first rows and bits): afterwards bit (63-i) of
-/// a[63-j] equals bit j of the original a[i]. Callers flip both indices —
-/// load row 63-l, read row 63-j — to get the main-diagonal transpose
-/// (lane-indexed coin words -> node-indexed lane masks) for free.
-void transpose64(std::array<std::uint64_t, 64>& a) {
-  std::uint64_t m = 0x00000000FFFFFFFFULL;
-  for (int j = 32; j != 0; j >>= 1, m ^= m << j) {
-    for (int k = 0; k < 64; k = (k + j + 1) & ~j) {
-      const std::uint64_t t = (a[k] ^ (a[k + j] >> j)) & m;
-      a[k] ^= t;
-      a[k + j] ^= t << j;
-    }
-  }
 }
 
 }  // namespace
@@ -88,7 +73,9 @@ std::uint32_t decay_step_lanes(radio::LaneExecutor& net,
     }
   } else {
     // Coin words are node-indexed per lane; the transmit mask is
-    // lane-indexed per node. Transpose 64 lanes x 64 nodes per block.
+    // lane-indexed per node. Transpose 64 lanes x 64 nodes per block with
+    // the shared anti-diagonal kernel (radio/simd.hpp): load row 63-l,
+    // read row 63-(v-base) for the main-diagonal transpose for free.
     std::array<std::uint64_t, 64> w;
     for (std::size_t b = 0; b < blocks; ++b) {
       w.fill(0);
@@ -104,7 +91,7 @@ std::uint32_t decay_step_lanes(radio::LaneExecutor& net,
         for (graph::NodeId v = base; v < hi; ++v) tx_mask[v] = 0;
         continue;
       }
-      transpose64(w);
+      radio::simd::transpose64(w);
       for (graph::NodeId v = base; v < hi; ++v) {
         tx_mask[v] = participates[v] & w[static_cast<std::size_t>(63 - (v - base))];
       }

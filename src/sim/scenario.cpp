@@ -58,6 +58,12 @@ int ScenarioContext::medium_threads() const {
   return static_cast<int>(cli.get_int("medium-threads", 0));
 }
 
+radio::RecoveryStrategy ScenarioContext::recovery_strategy() const {
+  return radio::parse_recovery_strategy(cli.get_choice(
+      "recovery", "auto",
+      std::span<const std::string_view>(radio::kRecoveryNames)));
+}
+
 void ScenarioContext::record(ReplicationRecord r) {
   std::lock_guard<std::mutex> lock(record_mutex_);
   records_.push_back(std::move(r));
@@ -135,6 +141,11 @@ std::string ScenarioContext::write_json(const std::string& scenario_name,
     body += ", \"medium\": ";
     append_json_string(body, r.medium);
     body += ", \"lanes\": " + std::to_string(r.lanes);
+    body += ", \"recovery\": ";
+    append_json_string(body, r.recovery);
+    body += ", \"phase_traverse_ns\": " + json_number(r.phase_traverse_ns);
+    body += ", \"phase_output_ns\": " + json_number(r.phase_output_ns);
+    body += ", \"phase_recover_ns\": " + json_number(r.phase_recover_ns);
     body += "}";
   }
   body += records.empty() ? "]\n}\n" : "\n  ]\n}\n";

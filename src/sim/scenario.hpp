@@ -35,6 +35,15 @@ struct ReplicationRecord {
   double wall_ms = 0.0;
   std::string medium;  // radio backend that resolved it ("" = unspecified)
   int lanes = 1;       // replication lanes it shared its traversals with
+  /// Sender-recovery strategy the medium ran with ("" = not applicable,
+  /// e.g. mask-only workloads or backends without the knob).
+  std::string recovery;
+  /// Per-phase medium time attributed to this replication (its share of
+  /// the batch's radio::PhaseTimers), so the JSON trajectory shows where
+  /// a round goes: kernel traversal vs output scan vs sender recovery.
+  double phase_traverse_ns = 0.0;
+  double phase_output_ns = 0.0;
+  double phase_recover_ns = 0.0;
 };
 
 /// Everything a scenario needs at run time: parsed flags, the shared
@@ -66,6 +75,10 @@ struct ScenarioContext {
   /// --medium-threads flag: worker count for the sharded backend (0 =
   /// backend default: RADIOCAST_SHARD_THREADS env, else hardware).
   int medium_threads() const;
+
+  /// --recovery flag: sender-recovery strategy for batch media (auto when
+  /// absent). Throws on an unknown name, listing the valid strategies.
+  radio::RecoveryStrategy recovery_strategy() const;
 
   /// Prints the table with a title banner and, when out_dir is non-empty,
   /// writes `<out_dir>/<csv_name>.csv` (directories created on demand).

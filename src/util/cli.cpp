@@ -108,15 +108,33 @@ std::string Cli::get_choice(const std::string& name,
 }
 
 Cli& Cli::describe(const std::string& name, const std::string& help) {
-  help_.emplace_back(name, help);
+  help_.push_back({name, help});
+  return *this;
+}
+
+std::string Cli::render_choices(std::span<const std::string_view> choices) {
+  std::string out = "<";
+  const char* sep = "";
+  for (const std::string_view c : choices) {
+    out += sep;
+    out += c;
+    sep = "|";
+  }
+  out += ">";
+  return out;
+}
+
+Cli& Cli::describe(const std::string& name, const std::string& help,
+                   std::span<const std::string_view> choices) {
+  help_.push_back({name + "=" + render_choices(choices), help});
   return *this;
 }
 
 std::string Cli::usage() const {
   std::ostringstream os;
   os << "usage: " << program_ << " [flags]\n";
-  for (const auto& [name, help] : help_) {
-    os << "  --" << name << "\n      " << help << "\n";
+  for (const auto& entry : help_) {
+    os << "  --" << entry.name << "\n      " << entry.help << "\n";
   }
   return os.str();
 }

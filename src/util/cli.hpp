@@ -57,15 +57,36 @@ class Cli {
   /// Positional arguments after the subcommand.
   std::vector<std::string> subcommand_args() const;
 
+  /// Renders an enumerated flag's legal values as "<a|b|c>" — the single
+  /// formatting point shared by describe() below and drivers with their
+  /// own usage text, so the rendering cannot drift from what get_choice
+  /// accepts.
+  static std::string render_choices(std::span<const std::string_view> choices);
+
   /// Registers a flag for the usage string; returns *this for chaining.
   Cli& describe(const std::string& name, const std::string& help);
+  /// Choice-valued flag: usage() renders it as --name=<a|b|c> so the legal
+  /// values are discoverable from --help, matching what get_choice will
+  /// accept.
+  Cli& describe(const std::string& name, const std::string& help,
+                std::span<const std::string_view> choices);
+  Cli& describe(const std::string& name, const std::string& help,
+                std::initializer_list<std::string_view> choices) {
+    return describe(
+        name, help,
+        std::span<const std::string_view>(choices.begin(), choices.size()));
+  }
   std::string usage() const;
 
  private:
+  struct FlagHelp {
+    std::string name;     // as rendered: "name" or "name=<a|b|c>"
+    std::string help;
+  };
   std::string program_;
   std::map<std::string, std::string> flags_;
   std::vector<std::string> positional_;
-  std::vector<std::pair<std::string, std::string>> help_;
+  std::vector<FlagHelp> help_;
 };
 
 }  // namespace radiocast::util

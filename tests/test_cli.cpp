@@ -115,5 +115,25 @@ TEST(Cli, UsageListsDescribedFlags) {
   EXPECT_NE(u.find("--seed"), std::string::npos);
 }
 
+TEST(Cli, RenderChoicesFormatsLegalValues) {
+  constexpr std::string_view kNames[] = {"auto", "rowscan", "idplanes"};
+  EXPECT_EQ(Cli::render_choices(kNames), "<auto|rowscan|idplanes>");
+  EXPECT_EQ(Cli::render_choices({}), "<>");
+}
+
+// Choice-valued flags must enumerate their legal values in the usage
+// output, matching exactly what get_choice accepts.
+TEST(Cli, UsageEnumeratesChoiceValues) {
+  Cli c = make({});
+  c.describe("medium", "radio backend", {"scalar", "bitslice", "sharded"})
+      .describe("recovery", "sender-recovery strategy",
+                {"auto", "rowscan", "idplanes"});
+  const std::string u = c.usage();
+  EXPECT_NE(u.find("--medium=<scalar|bitslice|sharded>"), std::string::npos);
+  EXPECT_NE(u.find("--recovery=<auto|rowscan|idplanes>"), std::string::npos);
+  EXPECT_NE(u.find("radio backend"), std::string::npos);
+  EXPECT_NE(u.find("sender-recovery strategy"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace radiocast::util

@@ -8,9 +8,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <cstdlib>
 #include <memory>
+#include <string>
 #include <tuple>
 #include <vector>
 
@@ -503,6 +505,196 @@ TEST(MediumBackends, ReplicateBatchedMatchesReplicate) {
       EXPECT_DOUBLE_EQ(got[m].mean(), want[m].mean());
     }
   }
+}
+
+// Tentpole differential: sender recovery must be a pure cost knob. For
+// every backend, both collision models, and 1/7/64 lanes, kRowScan and
+// kIdPlanes (and kAuto) must produce identical deliveries, delivered
+// masks, best[] planes, and tallies. Per-listener delivery order is
+// normalized (the row scan emits sender-major, the id planes lane-major).
+TEST(MediumBackends, RecoveryStrategyDifferential) {
+  util::Rng rng(81);
+  const Graph gnp = graph::gnp(140, 0.06, rng);
+  const Graph star = graph::star(60);
+  constexpr RecoveryStrategy kStrategies[] = {RecoveryStrategy::kRowScan,
+                                              RecoveryStrategy::kIdPlanes,
+                                              RecoveryStrategy::kAuto};
+  auto sorted = [](std::vector<BatchDelivery> v) {
+    std::sort(v.begin(), v.end(),
+              [](const BatchDelivery& a, const BatchDelivery& b) {
+                return std::tie(a.node, a.lane) < std::tie(b.node, b.lane);
+              });
+    return v;
+  };
+  for (const Graph* g : {&gnp, &star}) {
+    const NodeId n = g->node_count();
+    for (const CollisionModel model :
+         {CollisionModel::kNoDetection, CollisionModel::kDetection}) {
+      for (const int lanes : {1, 7, 64}) {
+        // Lane-major planes exercise real per-lane payload recovery; a
+        // second round with one shared constant plane exercises kAuto's
+        // no-identification fold shortcut.
+        std::vector<std::uint64_t> tx_mask(n, 0);
+        std::vector<Payload> planes(static_cast<std::size_t>(lanes) * n);
+        for (NodeId v = 0; v < n; ++v) {
+          for (int l = 0; l < lanes; ++l) {
+            if (rng.bernoulli(0.25)) tx_mask[v] |= std::uint64_t{1} << l;
+            planes[static_cast<std::size_t>(l) * n + v] =
+                7'000 * static_cast<Payload>(l + 1) + v;
+          }
+        }
+        const std::vector<Payload> shared(n, 42);
+        for (const MediumKind kind : kAllKinds) {
+          BatchOutcome want;
+          std::vector<Payload> want_best(
+              static_cast<std::size_t>(lanes) * n, kNoPayload);
+          bool have_want = false;
+          for (const RecoveryStrategy strategy : kStrategies) {
+            auto medium = make_medium(kind, *g, model, 3, strategy);
+            EXPECT_EQ(medium->recovery_strategy(), strategy);
+            BatchOutcome got;
+            medium->resolve_batch(
+                tx_mask, PayloadPlanes::lane_major(planes, n), lanes, got);
+            std::vector<Payload> got_best(
+                static_cast<std::size_t>(lanes) * n, kNoPayload);
+            BatchOutcome fold_out;
+            medium->resolve_batch_max(tx_mask,
+                                      PayloadPlanes::lane_major(planes, n),
+                                      lanes, got_best, fold_out);
+            BatchOutcome shared_out;
+            std::vector<Payload> shared_best(
+                static_cast<std::size_t>(lanes) * n, kNoPayload);
+            medium->resolve_batch_max(tx_mask, shared, lanes, shared_best,
+                                      shared_out);
+            if (!have_want) {
+              want = got;
+              want.deliveries = sorted(want.deliveries);
+              want_best = got_best;
+              have_want = true;
+              // Cross-check the fold against the recovered deliveries.
+              std::vector<Payload> from_deliveries(
+                  static_cast<std::size_t>(lanes) * n, kNoPayload);
+              for (const auto& d : got.deliveries) {
+                Payload& b =
+                    from_deliveries[static_cast<std::size_t>(d.lane) * n +
+                                    d.node];
+                if (b == kNoPayload || d.payload > b) b = d.payload;
+              }
+              EXPECT_EQ(got_best, from_deliveries) << to_string(kind);
+              for (const auto& d : shared_out.delivered) {
+                for (std::uint64_t hit = d.lanes; hit != 0; hit &= hit - 1) {
+                  const int l = std::countr_zero(hit);
+                  EXPECT_EQ(
+                      shared_best[static_cast<std::size_t>(l) * n + d.node],
+                      42u);
+                }
+              }
+              continue;
+            }
+            const std::string ctx = std::string(to_string(kind)) + "/" +
+                                    std::string(to_string(strategy)) +
+                                    " lanes=" + std::to_string(lanes);
+            EXPECT_EQ(sorted(got.deliveries), want.deliveries) << ctx;
+            auto masks = [n](const BatchOutcome& o) {
+              std::vector<std::uint64_t> m(n, 0);
+              for (const auto& d : o.delivered) m[d.node] = d.lanes;
+              return m;
+            };
+            EXPECT_EQ(masks(got), masks(want)) << ctx;
+            EXPECT_EQ(got.transmitter_count, want.transmitter_count) << ctx;
+            EXPECT_EQ(got.delivered_count, want.delivered_count) << ctx;
+            EXPECT_EQ(got.collided_count, want.collided_count) << ctx;
+            EXPECT_EQ(got_best, want_best) << ctx;  // byte-identical planes
+          }
+        }
+      }
+    }
+  }
+}
+
+// The bitslice kernel must actually take both recovery paths when pinned
+// (the differential above would pass vacuously if a knob were ignored).
+TEST(MediumBackends, RecoveryStrategyPinsThePath) {
+  util::Rng rng(82);
+  const Graph g = graph::gnp(120, 0.08, rng);
+  const NodeId n = g.node_count();
+  std::vector<std::uint64_t> tx_mask(n, 0);
+  std::vector<Payload> planes(static_cast<std::size_t>(64) * n, 5);
+  for (NodeId v = 0; v < n; ++v) {
+    for (int l = 0; l < 64; ++l) {
+      if (rng.bernoulli(0.2)) tx_mask[v] |= std::uint64_t{1} << l;
+    }
+  }
+  for (const RecoveryStrategy strategy :
+       {RecoveryStrategy::kRowScan, RecoveryStrategy::kIdPlanes}) {
+    auto medium = make_medium(MediumKind::kBitslice, g,
+                              CollisionModel::kNoDetection, 0, strategy);
+    BatchOutcome out;
+    for (int round = 0; round < 5; ++round) {
+      medium->resolve_batch(tx_mask, PayloadPlanes::lane_major(planes, n),
+                            64, out);
+    }
+    const PhaseTimers& t = medium->phase_timers();
+    EXPECT_EQ(t.rounds, 5u);
+    if (strategy == RecoveryStrategy::kRowScan) {
+      EXPECT_EQ(t.rowscan_rounds, 5u);
+      EXPECT_EQ(t.idplane_rounds, 0u);
+    } else {
+      EXPECT_EQ(t.idplane_rounds, 5u);
+      EXPECT_EQ(t.rowscan_rounds, 0u);
+    }
+    medium->reset_phase_timers();
+    EXPECT_EQ(medium->phase_timers().rounds, 0u);
+  }
+  // kAuto's constant-plane fold shortcut must be counted as neither.
+  auto medium = make_medium(MediumKind::kBitslice, g,
+                            CollisionModel::kNoDetection, 0,
+                            RecoveryStrategy::kAuto);
+  const std::vector<Payload> shared(n, 9);
+  std::vector<Payload> best(static_cast<std::size_t>(64) * n, kNoPayload);
+  BatchOutcome out;
+  medium->resolve_batch_max(tx_mask, shared, 64, best, out);
+  EXPECT_EQ(medium->phase_timers().constfold_rounds, 1u);
+  EXPECT_EQ(medium->phase_timers().rowscan_rounds, 0u);
+  EXPECT_EQ(medium->phase_timers().idplane_rounds, 0u);
+}
+
+// Satellite regression: the single-lane resolve() adapter must not leak a
+// transmitter's payload into later rounds — mask1_ and payload1_ are both
+// cleared in the epilogue, so repeated rounds with duplicate transmitter
+// entries keep delivering each round's own (first-occurrence) payload.
+TEST(MediumBackends, DuplicateTransmittersRepeatedRoundsStayFresh) {
+  const Graph g = graph::star(6);
+  for (const MediumKind kind : kAllKinds) {
+    auto medium = make_medium(kind, g, CollisionModel::kNoDetection, 2);
+    for (Payload round = 0; round < 4; ++round) {
+      SparseOutcome out;
+      // Duplicates every round, with round-varying payloads: first
+      // occurrence wins, and nothing from earlier rounds survives.
+      medium->resolve(std::vector<NodeId>{2, 2, 2},
+                      std::vector<Payload>{100 + round, 7, 8}, out);
+      EXPECT_EQ(out.transmitter_count, 1u) << to_string(kind);
+      ASSERT_EQ(out.deliveries.size(), 1u) << to_string(kind);
+      EXPECT_EQ(out.deliveries[0].from, 2u);
+      EXPECT_EQ(out.deliveries[0].payload, 100 + round)
+          << to_string(kind) << " round " << round;
+      // Alternate transmitter between rounds so a stale payload for node 2
+      // would be observable if the epilogue ever stopped clearing it.
+      SparseOutcome other;
+      medium->resolve(std::vector<NodeId>{3}, std::vector<Payload>{55}, other);
+      ASSERT_EQ(other.deliveries.size(), 1u) << to_string(kind);
+      EXPECT_EQ(other.deliveries[0].payload, 55u);
+    }
+  }
+}
+
+TEST(MediumBackends, ParseRecoveryStrategy) {
+  EXPECT_EQ(parse_recovery_strategy("auto"), RecoveryStrategy::kAuto);
+  EXPECT_EQ(parse_recovery_strategy("rowscan"), RecoveryStrategy::kRowScan);
+  EXPECT_EQ(parse_recovery_strategy("idplanes"),
+            RecoveryStrategy::kIdPlanes);
+  EXPECT_THROW(parse_recovery_strategy("psychic"), std::invalid_argument);
+  EXPECT_EQ(to_string(RecoveryStrategy::kIdPlanes), "idplanes");
 }
 
 TEST(MediumBackends, ParseKind) {

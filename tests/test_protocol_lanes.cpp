@@ -70,11 +70,20 @@ void check_compete_differential(const Graph& g,
   for (const radio::MediumKind medium :
        {radio::MediumKind::kBitslice, radio::MediumKind::kScalar,
         radio::MediumKind::kSharded}) {
-    const auto got = core::compete_batched(g, sources, params, seeds, medium);
-    ASSERT_EQ(got.size(), want.size()) << to_string(medium);
-    for (int l = 0; l < lanes; ++l) {
-      expect_lane_equal(got[static_cast<std::size_t>(l)],
-                        want[static_cast<std::size_t>(l)], l);
+    // The sender-recovery strategy must be invisible in results: every
+    // strategy on every backend reproduces the scalar per-seed reference
+    // byte for byte (success, rounds, counters, whole best[] planes).
+    for (const radio::RecoveryStrategy recovery :
+         {radio::RecoveryStrategy::kAuto, radio::RecoveryStrategy::kRowScan,
+          radio::RecoveryStrategy::kIdPlanes}) {
+      const auto got =
+          core::compete_batched(g, sources, params, seeds, medium, recovery);
+      ASSERT_EQ(got.size(), want.size())
+          << to_string(medium) << "/" << to_string(recovery);
+      for (int l = 0; l < lanes; ++l) {
+        expect_lane_equal(got[static_cast<std::size_t>(l)],
+                          want[static_cast<std::size_t>(l)], l);
+      }
     }
   }
 }
@@ -237,6 +246,56 @@ TEST(ProtocolLanes, ScalarDecayStepMatchesOneLaneCall) {
   }
   EXPECT_EQ(del_a, del_b);
   EXPECT_EQ(best_a, best_b);
+}
+
+// Sender-materializing Decay (with_senders=true) through BatchNetwork
+// under both pinned recovery strategies and both collision models: the
+// out.deliveries detail driving best[] must agree lane by lane with a
+// per-seed scalar run, for 1, 7, and 64 lanes.
+TEST(ProtocolLanes, DecayWithSendersAgreesAcrossRecoveryStrategies) {
+  util::Rng grng(49);
+  const Graph g = graph::gnp(130, 0.09, grng);
+  const NodeId n = g.node_count();
+  for (const radio::CollisionModel model :
+       {radio::CollisionModel::kNoDetection,
+        radio::CollisionModel::kDetection}) {
+    for (const int lanes : {1, 7, 64}) {
+      const auto seeds = make_seeds(lanes, 7001);
+      std::vector<std::uint64_t> participates(n, radio::lane_mask(lanes));
+      std::vector<radio::Payload> payload(
+          static_cast<std::size_t>(lanes) * n);
+      for (NodeId v = 0; v < n; ++v) {
+        for (int l = 0; l < lanes; ++l) {
+          payload[static_cast<std::size_t>(l) * n + v] =
+              500 * static_cast<radio::Payload>(l + 1) + v;
+        }
+      }
+      std::vector<std::vector<radio::Payload>> bests;
+      std::vector<std::uint32_t> delivered;
+      for (const radio::RecoveryStrategy recovery :
+           {radio::RecoveryStrategy::kRowScan,
+            radio::RecoveryStrategy::kIdPlanes}) {
+        radio::BatchNetwork bn(g, lanes, model, radio::MediumKind::kBitslice,
+                               recovery);
+        std::vector<radio::Payload> best(
+            static_cast<std::size_t>(lanes) * n, radio::kNoPayload);
+        std::vector<util::Rng> rngs;
+        for (const auto s : seeds) rngs.emplace_back(s);
+        radio::BatchOutcome out;
+        std::uint32_t total = 0;
+        for (std::uint32_t s = 1; s <= 4; ++s) {
+          total += schedule::decay_step_lanes(
+              bn, participates, radio::PayloadPlanes::lane_major(payload, n),
+              s, best, rngs, out, /*with_senders=*/true);
+        }
+        bests.push_back(std::move(best));
+        delivered.push_back(total);
+      }
+      EXPECT_EQ(bests[0], bests[1])
+          << "lanes=" << lanes << " model=" << static_cast<int>(model);
+      EXPECT_EQ(delivered[0], delivered[1]);
+    }
+  }
 }
 
 TEST(ProtocolLanes, RejectsLaneOverflowAndBadPlanes) {
