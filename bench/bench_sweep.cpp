@@ -1,0 +1,69 @@
+// `radiocast_bench sweep` — declarative experiment grids.
+//
+// Expands a SweepSpec (CLI axes and/or --manifest=FILE) into a job grid —
+// family x family-parameter x n x protocol x medium x recovery — packs
+// each job's Monte-Carlo replications into lane batches through the
+// BatchNetwork seam, schedules every (job, batch) task over the --threads
+// pool, and emits one long-format CSV plus one schema-versioned JSON
+// (bench_out/sweep.{csv,json}) with Welford round statistics, Wilson
+// success intervals, per-phase medium rollups, and the core/theory bound
+// overlay at every grid point.
+//
+// Determinism: replication seeds depend only on the instance coordinates,
+// tasks are folded in grid order, and `--timing=off` removes the only
+// non-deterministic fields (wall/phase times) — the emitted files are
+// then byte-identical for any --threads value (pinned by
+// tests/test_exp_sweep.cpp and the CI sweep smoke job).
+//
+//   radiocast_bench sweep --quick --dry-run
+//   radiocast_bench sweep --family=gnp,cliquepath --n=geom:512..8192:5
+//       --p=deg:12 --protocol=decay,compete
+//       --medium=scalar,bitslice,sharded --recovery=auto --reps=16
+//   radiocast_bench sweep --manifest=grid.json --threads=8
+#include <string>
+
+#include "exp/planner.hpp"
+#include "exp/report.hpp"
+#include "exp/spec.hpp"
+#include "sim/runner.hpp"
+#include "sim/scenario.hpp"
+
+using namespace radiocast;
+
+RADIOCAST_SCENARIO(sweep, "sweep",
+                   "declarative experiment grids: family x n x param x "
+                   "protocol x medium x recovery, lane-batched, with Wilson "
+                   "intervals and theory-bound overlays") {
+  const exp::SweepSpec spec = exp::SweepSpec::from_cli(ctx.cli, ctx.quick());
+  const std::vector<exp::Job> jobs = exp::expand(spec);
+
+  if (ctx.cli.get_bool("dry-run", false)) {
+    ctx.note("sweep: " + std::to_string(jobs.size()) + " jobs, " +
+             std::to_string(static_cast<long long>(jobs.size()) * spec.reps) +
+             " replications");
+    for (const exp::Job& job : jobs) {
+      ctx.note("  " + job.label() + " x" + std::to_string(job.reps));
+    }
+    return;
+  }
+
+  const bool timing = ctx.cli.get_bool("timing", true);
+  exp::Planner planner;
+  const std::vector<exp::PointResult> results = planner.run(jobs, ctx.runner);
+
+  util::Table table(exp::long_headers(timing));
+  for (const exp::PointResult& point : results) {
+    exp::add_long_row(table, exp::point_meta(point), point.acc, timing);
+  }
+  ctx.emit(table,
+           "sweep: " + std::to_string(results.size()) +
+               " grid points x " + std::to_string(spec.reps) +
+               " replications (lanes=" + std::to_string(spec.lanes) + ")",
+           "sweep");
+  ctx.note("(rounds stats over successful replications; rate carries a 95% "
+           "Wilson interval; bound = core/theory overlay, x_bound = mean "
+           "rounds / bound" +
+           std::string(timing ? "; --timing=off for byte-stable files)"
+                              : "; timing columns omitted)"));
+  ctx.emit_json("sweep", exp::sweep_json(spec, results, timing));
+}

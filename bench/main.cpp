@@ -63,10 +63,24 @@ void print_usage(const char* program) {
       << "                 sender-recovery strategy for batch media\n"
       << "                 (default auto = per-round cost prediction)\n"
       << "  --medium-threads=N\n"
-      << "                 sharded-backend worker count (default 0 = the\n"
-      << "                 RADIOCAST_SHARD_THREADS env var, else hardware)\n"
+      << "                 sharded-backend worker count (absent = the\n"
+      << "                 RADIOCAST_SHARD_THREADS env var, else hardware;\n"
+      << "                 must be a positive integer when given)\n"
       << "  --out=DIR      CSV/JSON output directory (default bench_out;\n"
-      << "                 empty string disables file output)\n";
+      << "                 empty string disables file output)\n"
+      << "\n"
+      << "sweep subcommand (declarative experiment grids; axes accept\n"
+      << "comma lists and lin:lo..hi:k / geom:lo..hi:k ranges):\n"
+      << "  " << program << " sweep --family=gnp,cliquepath"
+      << " --n=512,1024,2048 \\\n"
+      << "      --p=deg:12 --protocol=decay"
+      << " --medium=scalar,bitslice,sharded\n"
+      << "  --manifest=F   read the grid from a JSON manifest file\n"
+      << "  --dry-run      list the expanded jobs without running them\n"
+      << "  --timing=off   omit wall/phase timing from sweep.csv/json\n"
+      << "                 (output is then byte-identical across runs)\n"
+      << "  (--medium/--recovery take comma lists here; --lanes, --reps,\n"
+      << "   --sources, --max-rounds, --seed scale the grid)\n";
 }
 
 }  // namespace
@@ -109,9 +123,13 @@ int main(int argc, char** argv) {
     ScenarioContext ctx(cli, runner);
     // Validate the enum-valued flags for every scenario up front:
     // scenarios that ignore them would otherwise silently run their
-    // defaults on a typo'd value.
-    if (cli.has("medium")) (void)ctx.medium_kind();
-    if (cli.has("recovery")) (void)ctx.recovery_strategy();
+    // defaults on a typo'd value. The sweep subcommand is exempt — its
+    // --medium/--recovery are grid AXES (comma lists), validated
+    // per-element by exp::SweepSpec.
+    const bool is_sweep = cli.subcommand() == "sweep";
+    if (cli.has("medium") && !is_sweep) (void)ctx.medium_kind();
+    if (cli.has("recovery") && !is_sweep) (void)ctx.recovery_strategy();
+    if (cli.has("medium-threads")) (void)ctx.medium_threads();
     if (cli.has("out")) ctx.out_dir = cli.get_string("out", "bench_out");
     const auto start = std::chrono::steady_clock::now();
     registry.run(cli.subcommand(), ctx);
@@ -119,8 +137,9 @@ int main(int argc, char** argv) {
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - start)
             .count();
-    const std::string json_path = ctx.write_json(cli.subcommand(), wall_ms);
-    if (!json_path.empty()) std::cout << "[json] " << json_path << "\n";
+    // The per-replication perf-trajectory JSON (scenarios that recorded
+    // nothing skip it); the Report sink logs the "[json] path" line.
+    (void)ctx.write_json(cli.subcommand(), wall_ms);
     return 0;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";

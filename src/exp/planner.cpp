@@ -1,0 +1,326 @@
+#include "exp/planner.hpp"
+
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/broadcast.hpp"
+#include "core/compete_batched.hpp"
+#include "core/theory.hpp"
+#include "graph/generators.hpp"
+#include "radio/batch_network.hpp"
+#include "sim/runner.hpp"
+#include "util/json.hpp"
+#include "util/rng.hpp"
+
+namespace radiocast::exp {
+
+namespace {
+
+constexpr radio::Payload kBroadcastMessage = 7;
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// The family's parameter axis (display name + values); parameterless
+/// families sweep one dimensionless point.
+void family_params(const SweepSpec& spec, const std::string& family,
+                   std::string& name, std::vector<double>& values) {
+  if (family == "gnp") {
+    name = spec.p_is_degree ? "deg" : "p";
+    values = spec.p;
+  } else if (family == "rgg") {
+    name = "radius";
+    values = spec.radius;
+  } else if (family == "cliquepath") {
+    name = "d";
+    values.assign(spec.d.begin(), spec.d.end());
+  } else {  // grid
+    name = "";
+    values = {0.0};
+  }
+}
+
+}  // namespace
+
+std::string Job::label() const {
+  std::string out = family;
+  if (!param_name.empty()) {
+    out += '[';
+    out += param_name;
+    out += '=';
+    out += util::json_number(param);
+    out += ']';
+  }
+  out += "/n=";
+  out += std::to_string(n);
+  out += '/';
+  out += protocol;
+  out += '/';
+  out += radio::to_string(medium);
+  if (lane_width > 1) {
+    out += '/';
+    out += radio::to_string(recovery);
+    out += "/lanes=";
+    out += std::to_string(lane_width);
+  }
+  return out;
+}
+
+namespace {
+
+/// Replication/instance seed base for one grid point: a hash chain over
+/// the INSTANCE coordinates (family, parameter, n) — not the enumeration
+/// index — so the same coordinates draw the same randomness in any grid
+/// shape (adding an n value or a family to a sweep does not move every
+/// other point's outcomes), and every medium/recovery/protocol job on a
+/// point replays the same graph and per-replication streams.
+std::uint64_t point_seed_for(std::uint64_t base, const std::string& family,
+                             double param, std::uint32_t n) {
+  std::uint64_t seed = base;
+  for (const char c : family) {
+    seed = util::mix_seed(seed, static_cast<unsigned char>(c));
+  }
+  seed = util::mix_seed(seed, std::bit_cast<std::uint64_t>(param));
+  return util::mix_seed(seed, n);
+}
+
+}  // namespace
+
+std::vector<Job> expand(const SweepSpec& spec) {
+  spec.validate();
+  std::vector<Job> jobs;
+  for (const std::string& family : spec.families) {
+    std::string param_name;
+    std::vector<double> params;
+    family_params(spec, family, param_name, params);
+    for (const double param : params) {
+      for (const std::uint32_t n : spec.n) {
+        const std::uint64_t point_seed =
+            point_seed_for(spec.seed, family, param, n);
+        for (const std::string& protocol : spec.protocols) {
+          const bool batched = protocol != "cd";
+          // Scalar cores identify no execution axes: collapse them so the
+          // grid never reruns identical work under different labels.
+          const std::size_t medium_count = batched ? spec.mediums.size() : 1;
+          const std::size_t recovery_count =
+              batched ? spec.recoveries.size() : 1;
+          for (std::size_t mi = 0; mi < medium_count; ++mi) {
+            for (std::size_t ri = 0; ri < recovery_count; ++ri) {
+              Job job;
+              job.index = static_cast<int>(jobs.size());
+              job.family = family;
+              job.param_name = param_name;
+              job.param = param;
+              job.n = n;
+              job.protocol = protocol;
+              job.medium =
+                  batched ? spec.mediums[mi] : radio::MediumKind::kScalar;
+              job.recovery = batched ? spec.recoveries[ri]
+                                     : radio::RecoveryStrategy::kAuto;
+              job.lane_width = batched ? spec.lanes : 1;
+              job.reps = spec.reps;
+              job.sources = spec.sources;
+              job.max_rounds = spec.max_rounds;
+              job.seed = point_seed;
+              job.instance_seed = util::mix_seed(point_seed, 0xA11CEu);
+              jobs.push_back(std::move(job));
+            }
+          }
+        }
+      }
+    }
+  }
+  return jobs;
+}
+
+sim::Instance build_instance(const Job& job) {
+  if (job.family == "gnp") {
+    util::Rng rng(job.instance_seed);
+    const double p = job.param_name == "deg"
+                         ? std::min(1.0, job.param / job.n)
+                         : job.param;
+    sim::Instance inst;
+    inst.g = graph::gnp(job.n, p, rng);
+    inst.diameter = graph::diameter_double_sweep(inst.g);
+    inst.name = "gnp(n=" + std::to_string(job.n) +
+                ",p=" + util::json_number(p) + ")";
+    return inst;
+  }
+  if (job.family == "rgg") {
+    util::Rng rng(job.instance_seed);
+    return sim::make_rgg_instance(job.n, job.param, rng);
+  }
+  if (job.family == "cliquepath") {
+    return sim::make_cliquepath_instance(
+        job.n, static_cast<graph::NodeId>(job.param));
+  }
+  if (job.family == "grid") {
+    const auto rows = static_cast<graph::NodeId>(
+        std::max(1.0, std::floor(std::sqrt(static_cast<double>(job.n)))));
+    const graph::NodeId cols = (job.n + rows - 1) / rows;
+    return sim::make_grid_instance(rows, cols);
+  }
+  throw std::invalid_argument("unknown graph family '" + job.family + "'");
+}
+
+double theory_bound(const std::string& protocol, std::uint32_t n,
+                    std::uint32_t diameter, int sources) {
+  if (protocol == "decay") return core::theory::bound_bgi(n, diameter);
+  if (protocol == "compete") {
+    return core::theory::bound_compete(
+        n, diameter, static_cast<std::uint64_t>(sources));
+  }
+  if (protocol == "cd") return core::theory::bound_cd(n, diameter);
+  throw std::invalid_argument("unknown protocol '" + protocol + "'");
+}
+
+namespace {
+
+/// Generous per-replication round budget when the spec leaves max_rounds
+/// at 0: a w.h.p. run terminates well inside it, a stuck one is bounded.
+std::uint64_t auto_budget(const Job& job, std::uint32_t n,
+                          std::uint32_t diameter) {
+  const double bound = theory_bound(job.protocol, n, diameter, job.sources);
+  return 2000 + static_cast<std::uint64_t>(8.0 * bound);
+}
+
+std::vector<core::CompeteSource> make_sources(const Job& job,
+                                              std::uint32_t n) {
+  if (job.protocol == "decay") return {{0, kBroadcastMessage}};
+  std::vector<core::CompeteSource> sources;
+  const auto count = static_cast<std::uint32_t>(job.sources);
+  sources.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    // Sources spread evenly, descending payloads: source 0 (node 0) wins.
+    sources.push_back({static_cast<graph::NodeId>(
+                           (static_cast<std::uint64_t>(i) * n) / count),
+                       radio::Payload{1'000'000} - i});
+  }
+  return sources;
+}
+
+/// One replication's outcome inside a task.
+struct LaneOutcome {
+  bool success = false;
+  double rounds = 0.0;
+  double informed = Accumulator::kAbsent;
+  double deliveries = Accumulator::kAbsent;
+  double transmissions = Accumulator::kAbsent;
+};
+
+/// One executed (job, lane-batch) unit.
+struct TaskOut {
+  std::vector<LaneOutcome> lanes;
+  radio::PhaseTimers phases;
+  double wall_ms = 0.0;
+  std::uint32_t n_actual = 0;
+  std::uint32_t diameter = 0;
+};
+
+struct Task {
+  int job = 0;
+  int first_rep = 0;
+  int count = 0;
+};
+
+TaskOut run_task(const Job& job, int first_rep, int count) {
+  const double t0 = now_ms();
+  TaskOut out;
+  const sim::Instance inst = build_instance(job);
+  out.n_actual = inst.g.node_count();
+  out.diameter = inst.diameter;
+  out.lanes.reserve(static_cast<std::size_t>(count));
+
+  std::vector<std::uint64_t> seeds(static_cast<std::size_t>(count));
+  for (int l = 0; l < count; ++l) {
+    seeds[static_cast<std::size_t>(l)] =
+        util::mix_seed(job.seed, static_cast<std::uint64_t>(first_rep + l));
+  }
+
+  if (job.protocol == "cd") {
+    for (const std::uint64_t seed : seeds) {
+      const auto r = core::broadcast(inst.g, inst.diameter, 0,
+                                     kBroadcastMessage, core::CompeteParams{},
+                                     seed);
+      LaneOutcome lane;
+      lane.success = r.success;
+      lane.rounds = static_cast<double>(r.rounds);
+      lane.informed = static_cast<double>(r.informed);
+      out.lanes.push_back(lane);
+    }
+  } else {
+    radio::BatchNetwork bn(inst.g, count, radio::CollisionModel::kNoDetection,
+                           job.medium, job.recovery);
+    core::BatchedCompeteParams params;
+    params.max_rounds = job.max_rounds != 0
+                            ? job.max_rounds
+                            : auto_budget(job, out.n_actual, out.diameter);
+    const auto results = core::compete_batched(
+        bn, make_sources(job, out.n_actual), params, seeds);
+    out.phases = bn.medium().phase_timers();
+    for (const auto& r : results) {
+      LaneOutcome lane;
+      lane.success = r.success;
+      lane.rounds = static_cast<double>(r.rounds);
+      lane.informed = static_cast<double>(r.informed);
+      lane.deliveries = static_cast<double>(r.deliveries);
+      lane.transmissions = static_cast<double>(r.transmissions);
+      out.lanes.push_back(lane);
+    }
+  }
+  out.wall_ms = now_ms() - t0;
+  return out;
+}
+
+}  // namespace
+
+std::vector<PointResult> Planner::run(std::span<const Job> jobs,
+                                      sim::Runner& runner) const {
+  // Flatten jobs into (job, lane-batch) tasks so small per-job batch
+  // counts still saturate the pool across the whole grid.
+  std::vector<Task> tasks;
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    const Job& job = jobs[j];
+    for (int first = 0; first < job.reps; first += job.lane_width) {
+      tasks.push_back({static_cast<int>(j), first,
+                       std::min(job.lane_width, job.reps - first)});
+    }
+  }
+
+  const auto outs = runner.map(static_cast<int>(tasks.size()), [&](int t) {
+    const Task& task = tasks[static_cast<std::size_t>(t)];
+    return run_task(jobs[static_cast<std::size_t>(task.job)], task.first_rep,
+                    task.count);
+  });
+
+  // Fold strictly in task order: the accumulators (and therefore every
+  // emitted statistic) are independent of how the map was scheduled.
+  std::vector<PointResult> results(jobs.size());
+  for (std::size_t j = 0; j < jobs.size(); ++j) {
+    results[j].job = jobs[j];
+  }
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    const TaskOut& out = outs[t];
+    PointResult& point = results[static_cast<std::size_t>(tasks[t].job)];
+    point.n_actual = out.n_actual;
+    point.diameter = out.diameter;
+    for (const LaneOutcome& lane : out.lanes) {
+      point.acc.add(lane.success, lane.rounds, lane.deliveries,
+                    lane.transmissions, lane.informed);
+    }
+    point.acc.add_phases(out.phases);
+    point.acc.add_wall_ms(out.wall_ms);
+  }
+  for (PointResult& point : results) {
+    point.acc.set_theory_bound(theory_bound(
+        point.job.protocol, point.n_actual, point.diameter, point.job.sources));
+  }
+  return results;
+}
+
+}  // namespace radiocast::exp

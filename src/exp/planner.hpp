@@ -1,0 +1,98 @@
+// Grid expansion and deterministic execution for the sweep subsystem.
+//
+// expand() turns a SweepSpec into a flat, deterministic job list — one Job
+// per grid point, enumerated family -> family-parameter -> n -> protocol
+// -> medium -> recovery. Replication seeds are derived from the INSTANCE
+// coordinates only (family, parameter, n — not medium or recovery), so
+// two jobs that differ only in execution axes run byte-identical
+// protocol replications: the medium/recovery columns of a sweep isolate
+// execution cost, never outcome. Scalar protocol cores (cd) collapse the
+// execution axes entirely (one job per instance point, medium = scalar).
+//
+// Planner::run() flattens jobs into (job, lane-batch) tasks, maps them
+// over the sim::Runner pool, and folds the outcomes into per-job
+// Accumulators strictly in task order — the sweep's output is
+// byte-identical for any --threads, the same contract Runner::replicate
+// gives single scenarios.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "exp/accumulator.hpp"
+#include "exp/spec.hpp"
+#include "radio/medium.hpp"
+#include "sim/instances.hpp"
+
+namespace radiocast::sim {
+class Runner;
+}
+
+namespace radiocast::exp {
+
+/// One grid point, fully determined by the spec: running a Job twice (any
+/// thread count, any machine) yields identical protocol outcomes.
+struct Job {
+  int index = 0;
+  std::string family;
+  /// Family-parameter display name ("p", "deg", "radius", "d"; "" when
+  /// the family is parameterless) and value.
+  std::string param_name;
+  double param = 0.0;
+  std::uint32_t n = 0;
+  std::string protocol;  // kProtocolNames entry
+  radio::MediumKind medium = radio::MediumKind::kScalar;
+  radio::RecoveryStrategy recovery = radio::RecoveryStrategy::kAuto;
+  /// Lanes per batch (1 for scalar cores).
+  int lane_width = 1;
+  int reps = 1;
+  int sources = 1;
+  /// 0 = auto budget (resolved against the instance's theory bound).
+  std::uint64_t max_rounds = 0;
+  /// Base replication seed; replication r uses mix_seed(seed, r). Shared
+  /// across execution axes (see file comment).
+  std::uint64_t seed = 0;
+  /// Seed the graph instance is generated from (shared likewise).
+  std::uint64_t instance_seed = 0;
+
+  /// "gnp[deg=12]/n=1024/decay/bitslice/auto" — the human job id used by
+  /// --dry-run listings and error messages.
+  std::string label() const;
+};
+
+/// Expands the grid (validates the spec first). Deterministic: the same
+/// spec always yields the same jobs in the same order.
+std::vector<Job> expand(const SweepSpec& spec);
+
+/// One executed grid point: the job, the instance it materialised
+/// (n_actual can differ from job.n for the grid family; diameter is
+/// measured), and the folded replication statistics with the theory
+/// overlay already evaluated.
+struct PointResult {
+  Job job;
+  std::uint32_t n_actual = 0;
+  std::uint32_t diameter = 0;
+  Accumulator acc;
+};
+
+/// Builds the graph instance a job runs on — deterministic from the job
+/// alone, so every lane batch of a job sees the same topology.
+sim::Instance build_instance(const Job& job);
+
+/// The core/theory bound overlaid at a grid point: bound_bgi for decay,
+/// bound_compete for compete, bound_cd for cd.
+double theory_bound(const std::string& protocol, std::uint32_t n,
+                    std::uint32_t diameter, int sources);
+
+class Planner {
+ public:
+  /// Runs every job's replications over the runner pool; results are
+  /// byte-identical for any runner thread count. Throws what the protocol
+  /// cores throw (first task error wins, like Runner::map).
+  std::vector<PointResult> run(std::span<const Job> jobs,
+                               sim::Runner& runner) const;
+};
+
+}  // namespace radiocast::exp

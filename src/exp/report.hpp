@@ -1,0 +1,85 @@
+// The one bench_out sink: every file the harness emits — per-scenario CSV
+// tables, the per-scenario replication JSON, and the sweep grid reports —
+// goes through Report, so directory handling, schema versioning, and key
+// order are decided in exactly one place.
+//
+// JSON payloads are emitted with a leading "version" field
+// (kSchemaVersion) and insertion-ordered keys (util::Json), so files are
+// diffable and downstream consumers can check the schema before parsing.
+// The long-format helpers render one grid point per row — the shared
+// shape for the sweep subcommand and the scenarios ported to
+// exp::Accumulator — with the timing columns (wall clock, medium phase
+// rollups) split out behind a flag: everything except timing is
+// byte-deterministic for a fixed spec, and `--timing=off` produces fully
+// byte-identical files across thread counts and machines.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "exp/accumulator.hpp"
+#include "exp/planner.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+namespace radiocast::exp {
+
+/// Schema version stamped into every emitted JSON document.
+inline constexpr int kSchemaVersion = 1;
+
+class Report {
+ public:
+  /// `out_dir` empty disables all file output (write_* return "").
+  explicit Report(std::string out_dir) : out_dir_(std::move(out_dir)) {}
+
+  bool enabled() const { return !out_dir_.empty(); }
+
+  /// Writes <out_dir>/<name>.csv; logs "[csv] path" (or the error) to
+  /// `log`. Returns the path, or "" when disabled/failed.
+  std::string write_csv(const std::string& name, const util::Table& table,
+                        std::ostream& log) const;
+
+  /// Writes <out_dir>/<name>.json. `payload` must be an object; a
+  /// "version": kSchemaVersion field is prepended (an existing "version"
+  /// member is overridden). Taken by value — move it in; large sweep
+  /// documents are stamped in place, not cloned. Logs "[json] path" (or
+  /// the error) to `log`.
+  std::string write_json(const std::string& name, util::Json payload,
+                         std::ostream& log) const;
+
+ private:
+  std::string out_dir_;
+};
+
+/// Identity of one long-format row (sweep grid point, or a ported
+/// scenario's (instance, algorithm) pair).
+struct PointMeta {
+  std::string family;
+  std::string param_name;  // "" = parameterless
+  double param = 0.0;
+  std::uint32_t n = 0;
+  std::uint32_t diameter = 0;
+  std::string protocol;
+  std::string medium = "scalar";
+  std::string recovery;  // "" = not applicable
+  int lanes = 1;
+};
+
+/// Long-format column set; `timing` appends the wall/phase columns.
+std::vector<std::string> long_headers(bool timing);
+/// Renders one accumulator as a long-format row (table and CSV share it).
+void add_long_row(util::Table& table, const PointMeta& meta,
+                  const Accumulator& acc, bool timing);
+/// One grid point as a JSON object (same fields as the row, nested).
+util::Json point_json(const PointMeta& meta, const Accumulator& acc,
+                      bool timing);
+
+/// PointResult conveniences for the sweep subcommand.
+PointMeta point_meta(const PointResult& point);
+/// The sweep report document: {kind, spec echo, points[]} (version is
+/// prepended by Report::write_json).
+util::Json sweep_json(const SweepSpec& spec,
+                      const std::vector<PointResult>& results, bool timing);
+
+}  // namespace radiocast::exp

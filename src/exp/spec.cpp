@@ -1,0 +1,431 @@
+#include "exp/spec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/parse.hpp"
+
+namespace radiocast::exp {
+
+namespace {
+
+[[noreturn]] void axis_fail(std::string_view what, const std::string& why) {
+  throw std::invalid_argument(std::string(what) + ": " + why);
+}
+
+/// Parses "a..b:k" (the tail of lin:/geom:) into endpoints and a count.
+void parse_range(std::string_view text, std::string_view what, double& lo,
+                 double& hi, int& count) {
+  const std::size_t dots = text.find("..");
+  const std::size_t colon = text.rfind(':');
+  if (dots == std::string_view::npos || colon == std::string_view::npos ||
+      colon < dots + 2) {
+    axis_fail(what, "range must look like lo..hi:count, got '" +
+                        std::string(text) + "'");
+  }
+  lo = util::parse_double(text.substr(0, dots), what);
+  hi = util::parse_double(text.substr(dots + 2, colon - dots - 2), what);
+  count = util::parse_positive_int(text.substr(colon + 1), what);
+  if (hi < lo) {
+    axis_fail(what, "inverted range " + std::string(text));
+  }
+}
+
+}  // namespace
+
+std::vector<double> parse_double_axis(std::string_view text,
+                                      std::string_view what) {
+  std::vector<double> out;
+  if (text.rfind("lin:", 0) == 0 || text.rfind("geom:", 0) == 0) {
+    const bool geometric = text[0] == 'g';
+    double lo = 0.0, hi = 0.0;
+    int count = 0;
+    parse_range(text.substr(geometric ? 5 : 4), what, lo, hi, count);
+    if (geometric && lo <= 0.0) {
+      axis_fail(what, "geometric range needs a positive lower endpoint");
+    }
+    out.reserve(static_cast<std::size_t>(count));
+    for (int i = 0; i < count; ++i) {
+      const double t =
+          count == 1 ? 0.0
+                     : static_cast<double>(i) / static_cast<double>(count - 1);
+      out.push_back(geometric ? lo * std::pow(hi / lo, t)
+                              : lo + (hi - lo) * t);
+    }
+    return out;
+  }
+  // Comma list; empty positions are loud errors, not silently dropped.
+  for (const std::string& item : util::split_csv(text, /*keep_empty=*/true)) {
+    if (item.empty()) {
+      axis_fail(what, "empty value in list '" + std::string(text) + "'");
+    }
+    out.push_back(util::parse_double(item, what));
+  }
+  if (out.empty()) axis_fail(what, "empty axis");
+  return out;
+}
+
+std::vector<std::uint64_t> parse_int_axis(std::string_view text,
+                                          std::string_view what) {
+  std::vector<std::uint64_t> out;
+  for (const double v : parse_double_axis(text, what)) {
+    if (v < 0.0) axis_fail(what, "negative value " + util::json_number(v));
+    const auto rounded = static_cast<std::uint64_t>(std::llround(v));
+    if (out.empty() || out.back() != rounded) out.push_back(rounded);
+  }
+  return out;
+}
+
+namespace {
+
+bool known_name(std::span<const std::string_view> names,
+                std::string_view candidate) {
+  return std::find(names.begin(), names.end(), candidate) != names.end();
+}
+
+std::string joined(std::span<const std::string_view> names) {
+  std::string out;
+  const char* sep = "";
+  for (const std::string_view n : names) {
+    out += sep;
+    out += n;
+    sep = ", ";
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> to_u32(const std::vector<std::uint64_t>& values,
+                                  std::string_view what) {
+  std::vector<std::uint32_t> out;
+  out.reserve(values.size());
+  for (const std::uint64_t v : values) {
+    if (v == 0 || v > 0xFFFFFFFFull) {
+      axis_fail(what, "value " + std::to_string(v) + " out of range");
+    }
+    out.push_back(static_cast<std::uint32_t>(v));
+  }
+  return out;
+}
+
+/// The p axis accepts a deg: prefix; returns whether it was present.
+bool split_degree_prefix(std::string& text) {
+  if (text.rfind("deg:", 0) != 0) return false;
+  text.erase(0, 4);
+  return true;
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- layers
+
+namespace {
+
+/// Applies one textual axis assignment to the spec; shared by the CLI and
+/// manifest layers so both speak exactly the same axis language.
+void apply_axis(SweepSpec& spec, const std::string& key,
+                const std::string& value) {
+  const std::string what = "axis " + key;
+  if (key == "family") {
+    spec.families = util::split_csv(value);
+  } else if (key == "n") {
+    spec.n = to_u32(parse_int_axis(value, what), what);
+  } else if (key == "p") {
+    std::string text = value;
+    spec.p_is_degree = split_degree_prefix(text);
+    spec.p = parse_double_axis(text, what);
+  } else if (key == "radius") {
+    spec.radius = parse_double_axis(value, what);
+  } else if (key == "d") {
+    spec.d = to_u32(parse_int_axis(value, what), what);
+  } else if (key == "protocol") {
+    spec.protocols = util::split_csv(value);
+  } else if (key == "medium") {
+    spec.mediums.clear();
+    for (const auto& name : util::split_csv(value)) {
+      spec.mediums.push_back(radio::parse_medium_kind(name));
+    }
+  } else if (key == "recovery") {
+    spec.recoveries.clear();
+    for (const auto& name : util::split_csv(value)) {
+      spec.recoveries.push_back(radio::parse_recovery_strategy(name));
+    }
+  } else {
+    axis_fail(what, "unknown axis");
+  }
+}
+
+}  // namespace
+
+SweepSpec SweepSpec::from_cli(const util::Cli& cli, bool quick) {
+  SweepSpec spec;
+  if (quick) {
+    spec.n = {192, 256, 384};
+    spec.d = {24};
+    spec.reps = 4;
+  }
+  if (cli.has("manifest")) {
+    spec = from_manifest_file(cli.get_string("manifest", ""));
+  }
+  for (const char* axis :
+       {"family", "n", "p", "radius", "d", "protocol", "medium", "recovery"}) {
+    if (!cli.has(axis)) continue;
+    // Join repeated occurrences so `--family gnp --family rgg` works like
+    // `--family=gnp,rgg`; range expressions are single-occurrence anyway.
+    std::string joined_items;
+    const char* sep = "";
+    for (const auto& item : cli.get_list(axis)) {
+      joined_items += sep;
+      joined_items += item;
+      sep = ",";
+    }
+    apply_axis(spec, axis, joined_items);
+  }
+  if (cli.has("lanes")) {
+    spec.lanes = util::parse_positive_int(cli.get_string("lanes", ""),
+                                          "flag --lanes");
+  }
+  if (cli.has("reps")) {
+    spec.reps =
+        util::parse_positive_int(cli.get_string("reps", ""), "flag --reps");
+  }
+  if (cli.has("seed")) spec.seed = cli.get_uint("seed", spec.seed);
+  if (cli.has("sources")) {
+    spec.sources = util::parse_positive_int(cli.get_string("sources", ""),
+                                            "flag --sources");
+  }
+  if (cli.has("max-rounds")) {
+    spec.max_rounds = util::parse_uint(cli.get_string("max-rounds", ""),
+                                       "flag --max-rounds");
+  }
+  spec.validate();
+  return spec;
+}
+
+namespace {
+
+/// A manifest axis value may be a single number, an axis-expression
+/// string, or an array of numbers/strings; normalise to the textual axis
+/// language and reuse apply_axis.
+std::string manifest_value_to_axis_text(const util::Json& value,
+                                        const std::string& key) {
+  if (value.is_string()) return value.as_string();
+  if (value.is_number()) return util::json_number(value.as_number());
+  if (value.is_array()) {
+    std::string out;
+    const char* sep = "";
+    for (const util::Json& item : value.items()) {
+      out += sep;
+      if (item.is_string()) {
+        out += item.as_string();
+      } else if (item.is_number()) {
+        out += util::json_number(item.as_number());
+      } else {
+        throw std::invalid_argument("manifest axis '" + key +
+                                    "': array items must be numbers or "
+                                    "strings");
+      }
+      sep = ",";
+    }
+    return out;
+  }
+  throw std::invalid_argument("manifest axis '" + key +
+                              "': expected a number, string, or array");
+}
+
+/// JSON doubles only hold integers exactly up to 2^53, but seeds and
+/// round budgets are full uint64s: manifests accept them as numbers OR
+/// strings, and the echo emits a string whenever the number form would
+/// lose precision (so `jq .spec` round-trips exactly).
+std::uint64_t manifest_uint(const util::Json& value, const std::string& key) {
+  if (value.is_string()) {
+    return util::parse_uint(value.as_string(), "manifest '" + key + "'");
+  }
+  const double v = value.as_number();
+  if (v < 0.0 || v != std::floor(v) || v >= 9007199254740992.0 /* 2^53 */) {
+    throw std::invalid_argument(
+        "manifest '" + key + "': " + util::json_number(v) +
+        " is not an exactly-representable non-negative integer (write it "
+        "as a string for values beyond 2^53)");
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+util::Json uint_json(std::uint64_t v) {
+  if (v < 9007199254740992ull /* 2^53 */) return util::Json(v);
+  return util::Json(std::to_string(v));
+}
+
+}  // namespace
+
+SweepSpec SweepSpec::from_json(const util::Json& manifest) {
+  if (!manifest.is_object()) {
+    throw std::invalid_argument("sweep manifest must be a JSON object");
+  }
+  SweepSpec spec;
+  for (const auto& [key, value] : manifest.members()) {
+    if (key == "version") {
+      if (value.as_number() != 1.0) {
+        throw std::invalid_argument("sweep manifest version " +
+                                    util::json_number(value.as_number()) +
+                                    " unsupported (this build reads 1)");
+      }
+    } else if (key == "lanes") {
+      spec.lanes = static_cast<int>(manifest_uint(value, key));
+    } else if (key == "reps") {
+      spec.reps = static_cast<int>(manifest_uint(value, key));
+    } else if (key == "seed") {
+      spec.seed = manifest_uint(value, key);
+    } else if (key == "sources") {
+      spec.sources = static_cast<int>(manifest_uint(value, key));
+    } else if (key == "max-rounds") {
+      spec.max_rounds = manifest_uint(value, key);
+    } else {
+      apply_axis(spec, key, manifest_value_to_axis_text(value, key));
+    }
+  }
+  spec.validate();
+  return spec;
+}
+
+SweepSpec SweepSpec::from_manifest_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) {
+    throw std::invalid_argument("cannot read sweep manifest '" + path + "'");
+  }
+  std::ostringstream buffer;
+  buffer << f.rdbuf();
+  try {
+    return from_json(util::Json::parse(buffer.str()));
+  } catch (const std::invalid_argument& e) {
+    throw std::invalid_argument("manifest '" + path + "': " + e.what());
+  }
+}
+
+util::Json SweepSpec::to_json() const {
+  util::Json j = util::Json::object();
+  j.set("version", 1);
+  util::Json fam = util::Json::array();
+  for (const auto& f : families) fam.push_back(f);
+  j.set("family", std::move(fam));
+  util::Json ns = util::Json::array();
+  for (const auto v : n) ns.push_back(std::uint64_t{v});
+  j.set("n", std::move(ns));
+  if (p_is_degree) {
+    // Keep the deg: marker so the round trip preserves the semantics.
+    std::string axis = "deg:";
+    const char* sep = "";
+    for (const double v : p) {
+      axis += sep;
+      axis += util::json_number(v);
+      sep = ",";
+    }
+    j.set("p", axis);
+  } else {
+    util::Json ps = util::Json::array();
+    for (const double v : p) ps.push_back(v);
+    j.set("p", std::move(ps));
+  }
+  util::Json rs = util::Json::array();
+  for (const double v : radius) rs.push_back(v);
+  j.set("radius", std::move(rs));
+  util::Json ds = util::Json::array();
+  for (const auto v : d) ds.push_back(std::uint64_t{v});
+  j.set("d", std::move(ds));
+  util::Json protos = util::Json::array();
+  for (const auto& pr : protocols) protos.push_back(pr);
+  j.set("protocol", std::move(protos));
+  util::Json meds = util::Json::array();
+  for (const auto m : mediums) meds.push_back(radio::to_string(m));
+  j.set("medium", std::move(meds));
+  util::Json recs = util::Json::array();
+  for (const auto r : recoveries) recs.push_back(radio::to_string(r));
+  j.set("recovery", std::move(recs));
+  j.set("lanes", lanes);
+  j.set("reps", reps);
+  j.set("seed", uint_json(seed));
+  j.set("sources", sources);
+  j.set("max-rounds", uint_json(max_rounds));
+  return j;
+}
+
+void SweepSpec::validate() const {
+  const auto check_nonempty = [](bool empty, const char* axis) {
+    if (empty) {
+      throw std::invalid_argument(std::string("sweep axis '") + axis +
+                                  "' is empty");
+    }
+  };
+  check_nonempty(families.empty(), "family");
+  check_nonempty(n.empty(), "n");
+  check_nonempty(protocols.empty(), "protocol");
+  check_nonempty(mediums.empty(), "medium");
+  check_nonempty(recoveries.empty(), "recovery");
+  for (const auto& f : families) {
+    if (!known_name(std::span<const std::string_view>(kFamilyNames), f)) {
+      throw std::invalid_argument(
+          "unknown graph family '" + f + "'; known families: " +
+          joined(std::span<const std::string_view>(kFamilyNames)));
+    }
+  }
+  for (const auto& pr : protocols) {
+    if (!known_name(std::span<const std::string_view>(kProtocolNames), pr)) {
+      throw std::invalid_argument(
+          "unknown protocol '" + pr + "'; known protocols: " +
+          joined(std::span<const std::string_view>(kProtocolNames)));
+    }
+  }
+  const bool needs_p =
+      std::find(families.begin(), families.end(), "gnp") != families.end();
+  const bool needs_radius =
+      std::find(families.begin(), families.end(), "rgg") != families.end();
+  const bool needs_d = std::find(families.begin(), families.end(),
+                                 "cliquepath") != families.end();
+  if (needs_p) {
+    check_nonempty(p.empty(), "p");
+    for (const double v : p) {
+      if (v <= 0.0 || (!p_is_degree && v > 1.0)) {
+        throw std::invalid_argument(
+            "axis p: value " + util::json_number(v) +
+            (p_is_degree ? " must be a positive degree"
+                         : " must be a probability in (0, 1]"));
+      }
+    }
+  }
+  if (needs_radius) {
+    check_nonempty(radius.empty(), "radius");
+    for (const double v : radius) {
+      if (v <= 0.0) {
+        throw std::invalid_argument("axis radius: value " +
+                                    util::json_number(v) +
+                                    " must be positive");
+      }
+    }
+  }
+  if (needs_d) {
+    check_nonempty(d.empty(), "d");
+    for (const auto v : d) {
+      if (v < 3) {
+        throw std::invalid_argument(
+            "axis d: diameter target must be >= 3, got " + std::to_string(v));
+      }
+    }
+  }
+  if (lanes < 1 || lanes > radio::kMaxLanes) {
+    throw std::invalid_argument("lanes must be in [1, " +
+                                std::to_string(radio::kMaxLanes) + "], got " +
+                                std::to_string(lanes));
+  }
+  if (reps < 1) {
+    throw std::invalid_argument("reps must be >= 1, got " +
+                                std::to_string(reps));
+  }
+  if (sources < 1) {
+    throw std::invalid_argument("sources must be >= 1, got " +
+                                std::to_string(sources));
+  }
+}
+
+}  // namespace radiocast::exp

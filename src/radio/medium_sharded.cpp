@@ -4,19 +4,23 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "util/parse.hpp"
+
 namespace radiocast::radio {
 
 namespace {
 
 // Worker count when the caller passes threads == 0: the
-// RADIOCAST_SHARD_THREADS environment variable when set to a positive
-// integer, else a hardware-derived default. The env override matters on
-// hosts where hardware_concurrency() lies (containers and CI runners
-// often report 1, silently degrading the backend to single-threaded).
+// RADIOCAST_SHARD_THREADS environment variable when set, else a
+// hardware-derived default. The env override matters on hosts where
+// hardware_concurrency() lies (containers and CI runners often report 1,
+// silently degrading the backend to single-threaded). A set-but-invalid
+// value (non-numeric, zero, negative) throws instead of silently falling
+// back — a typo'd override must never quietly change the worker count.
 int default_threads() {
   if (const char* env = std::getenv("RADIOCAST_SHARD_THREADS")) {
-    const int v = std::atoi(env);
-    if (v > 0) return std::min(v, 64);
+    const int v = util::parse_positive_int(env, "RADIOCAST_SHARD_THREADS");
+    return std::min(v, 64);
   }
   const unsigned hw = std::thread::hardware_concurrency();
   return static_cast<int>(std::clamp(hw, 1u, 8u));

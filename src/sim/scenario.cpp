@@ -1,15 +1,13 @@
 #include "sim/scenario.hpp"
 
 #include <algorithm>
-#include <cstdio>
-#include <filesystem>
-#include <fstream>
 #include <iostream>
-#include <limits>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
 
+#include "exp/report.hpp"
+#include "util/parse.hpp"
 #include "util/table.hpp"
 
 namespace radiocast::sim {
@@ -32,18 +30,13 @@ int ScenarioContext::reps(int quick_default, int full_default) const {
 void ScenarioContext::emit(const util::Table& table, const std::string& title,
                            const std::string& csv_name) {
   table.print(*out, title);
-  if (out_dir.empty()) return;
-  std::error_code ec;
-  std::filesystem::create_directories(out_dir, ec);
-  if (ec) {
-    *out << "[csv] cannot create " << out_dir << ": " << ec.message() << "\n";
-    return;
-  }
-  const std::string path =
-      (std::filesystem::path(out_dir) / (csv_name + ".csv")).string();
-  if (table.write_csv(path)) {
-    *out << "[csv] " << path << "\n";
-  }
+  exp::Report(out_dir).write_csv(csv_name, table, *out);
+}
+
+std::string ScenarioContext::emit_json(const std::string& name,
+                                       util::Json payload) {
+  emitted_json_.push_back(name);
+  return exp::Report(out_dir).write_json(name, std::move(payload), *out);
 }
 
 void ScenarioContext::note(const std::string& line) { *out << line << "\n"; }
@@ -55,7 +48,9 @@ radio::MediumKind ScenarioContext::medium_kind() const {
 }
 
 int ScenarioContext::medium_threads() const {
-  return static_cast<int>(cli.get_int("medium-threads", 0));
+  if (!cli.has("medium-threads")) return 0;
+  return util::parse_positive_int(cli.get_string("medium-threads", ""),
+                                  "flag --medium-threads");
 }
 
 radio::RecoveryStrategy ScenarioContext::recovery_strategy() const {
@@ -69,52 +64,12 @@ void ScenarioContext::record(ReplicationRecord r) {
   records_.push_back(std::move(r));
 }
 
-namespace {
-
-void append_json_string(std::string& out, const std::string& s) {
-  out += '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-}
-
-std::string json_number(double v) {
-  std::ostringstream os;
-  os.precision(std::numeric_limits<double>::max_digits10);
-  os << v;
-  const std::string s = os.str();
-  // JSON has no NaN/Inf; absent metrics become null.
-  if (s.find("nan") != std::string::npos ||
-      s.find("inf") != std::string::npos) {
-    return "null";
-  }
-  return s;
-}
-
-}  // namespace
-
 std::string ScenarioContext::write_json(const std::string& scenario_name,
                                         double wall_ms_total) {
-  if (out_dir.empty()) return "";
+  if (std::find(emitted_json_.begin(), emitted_json_.end(), scenario_name) !=
+      emitted_json_.end()) {
+    return "";  // the scenario owns this file (e.g. sweep.json)
+  }
   std::vector<ReplicationRecord> records;
   {
     std::lock_guard<std::mutex> lock(record_mutex_);
@@ -125,47 +80,30 @@ std::string ScenarioContext::write_json(const std::string& scenario_name,
                      return a.label != b.label ? a.label < b.label
                                                : a.rep < b.rep;
                    });
-  std::string body = "{\n  \"scenario\": ";
-  append_json_string(body, scenario_name);
-  body += ",\n  \"wall_ms_total\": " + json_number(wall_ms_total);
-  body += ",\n  \"replications\": [";
-  for (std::size_t i = 0; i < records.size(); ++i) {
-    const auto& r = records[i];
-    body += i == 0 ? "\n" : ",\n";
-    body += "    {\"label\": ";
-    append_json_string(body, r.label);
-    body += ", \"rep\": " + std::to_string(r.rep);
-    body += ", \"rounds\": " + json_number(r.rounds);
-    body += ", \"deliveries\": " + json_number(r.deliveries);
-    body += ", \"wall_ms\": " + json_number(r.wall_ms);
-    body += ", \"medium\": ";
-    append_json_string(body, r.medium);
-    body += ", \"lanes\": " + std::to_string(r.lanes);
-    body += ", \"recovery\": ";
-    append_json_string(body, r.recovery);
-    body += ", \"phase_traverse_ns\": " + json_number(r.phase_traverse_ns);
-    body += ", \"phase_output_ns\": " + json_number(r.phase_output_ns);
-    body += ", \"phase_recover_ns\": " + json_number(r.phase_recover_ns);
-    body += "}";
+  util::Json payload = util::Json::object();
+  payload.set("scenario", scenario_name);
+  payload.set("wall_ms_total", wall_ms_total);
+  util::Json replications = util::Json::array();
+  for (const ReplicationRecord& r : records) {
+    util::Json row = util::Json::object();
+    row.set("label", r.label);
+    row.set("rep", r.rep);
+    row.set("rounds", r.rounds);
+    row.set("deliveries", r.deliveries);
+    row.set("wall_ms", r.wall_ms);
+    row.set("medium", r.medium);
+    row.set("lanes", r.lanes);
+    row.set("recovery", r.recovery);
+    row.set("phase_traverse_ns", r.phase_traverse_ns);
+    row.set("phase_output_ns", r.phase_output_ns);
+    row.set("phase_recover_ns", r.phase_recover_ns);
+    replications.push_back(std::move(row));
   }
-  body += records.empty() ? "]\n}\n" : "\n  ]\n}\n";
-
-  std::error_code ec;
-  std::filesystem::create_directories(out_dir, ec);
-  if (ec) {
-    *out << "[json] cannot create " << out_dir << ": " << ec.message()
-         << "\n";
-    return "";
-  }
-  const std::string path =
-      (std::filesystem::path(out_dir) / (scenario_name + ".json")).string();
-  std::ofstream f(path);
-  if (!f) {
-    *out << "[json] cannot write " << path << "\n";
-    return "";
-  }
-  f << body;
-  return path;
+  payload.set("replications", std::move(replications));
+  // Not via emit_json: this IS the driver's fallback write, and it must
+  // not mark the name as scenario-owned.
+  return exp::Report(out_dir).write_json(scenario_name, std::move(payload),
+                                         *out);
 }
 
 ScenarioRegistry& ScenarioRegistry::global() {

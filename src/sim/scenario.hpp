@@ -19,6 +19,7 @@
 
 #include "radio/medium.hpp"
 #include "util/cli.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
 
 namespace radiocast::sim {
@@ -72,8 +73,10 @@ struct ScenarioContext {
   /// valid backends.
   radio::MediumKind medium_kind() const;
 
-  /// --medium-threads flag: worker count for the sharded backend (0 =
-  /// backend default: RADIOCAST_SHARD_THREADS env, else hardware).
+  /// --medium-threads flag: worker count for the sharded backend. Absent
+  /// = 0 (backend default: RADIOCAST_SHARD_THREADS env, else hardware);
+  /// when given it must be a positive integer — non-numeric or zero
+  /// values throw instead of silently degrading to the default.
   int medium_threads() const;
 
   /// --recovery flag: sender-recovery strategy for batch media (auto when
@@ -81,9 +84,14 @@ struct ScenarioContext {
   radio::RecoveryStrategy recovery_strategy() const;
 
   /// Prints the table with a title banner and, when out_dir is non-empty,
-  /// writes `<out_dir>/<csv_name>.csv` (directories created on demand).
+  /// writes `<out_dir>/<csv_name>.csv` through the exp::Report sink.
   void emit(const util::Table& table, const std::string& title,
             const std::string& csv_name);
+  /// Writes `<out_dir>/<name>.json` through the exp::Report sink (schema
+  /// "version" field prepended; no-op returning "" when out_dir is
+  /// empty). For scenarios that build structured documents beyond the
+  /// per-replication records. Taken by value — move it in.
+  std::string emit_json(const std::string& name, util::Json payload);
   /// Prints a free-form note line after a table.
   void note(const std::string& line);
 
@@ -94,13 +102,18 @@ struct ScenarioContext {
   /// Writes `<out_dir>/<scenario>.json` with the driver-measured total
   /// wall time and all recorded replications (sorted by label then rep, so
   /// the file is deterministic for any --threads). Called by the driver
-  /// after the scenario returns; no-op returning "" when out_dir is empty.
+  /// after the scenario returns; no-op returning "" when out_dir is empty
+  /// or when the scenario already emitted a document under that name via
+  /// emit_json (sweep owns bench_out/sweep.json; the driver must not
+  /// clobber it).
   std::string write_json(const std::string& scenario_name,
                          double wall_ms_total);
 
  private:
   std::mutex record_mutex_;
   std::vector<ReplicationRecord> records_;
+  /// JSON names already written through emit_json this run.
+  std::vector<std::string> emitted_json_;
 };
 
 using ScenarioFn = std::function<void(ScenarioContext&)>;

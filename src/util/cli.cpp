@@ -2,6 +2,9 @@
 
 #include <sstream>
 #include <stdexcept>
+#include <utility>
+
+#include "util/parse.hpp"
 
 namespace radiocast::util {
 
@@ -16,16 +19,22 @@ Cli::Cli(int argc, const char* const* argv) {
     arg.erase(0, 2);
     const auto eq = arg.find('=');
     if (eq != std::string::npos) {
-      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      flags_[arg.substr(0, eq)].push_back(arg.substr(eq + 1));
     } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      flags_[arg] = argv[++i];
+      flags_[arg].push_back(argv[++i]);
     } else {
-      flags_[arg] = "true";  // bare boolean flag
+      flags_[arg].push_back("true");  // bare boolean flag
     }
   }
 }
 
 bool Cli::has(const std::string& name) const { return flags_.count(name) > 0; }
+
+const std::string* Cli::last_value(const std::string& name) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end() || it->second.empty()) return nullptr;
+  return &it->second.back();
+}
 
 std::string Cli::subcommand() const {
   return positional_.empty() ? std::string{} : positional_.front();
@@ -38,50 +47,66 @@ std::vector<std::string> Cli::subcommand_args() const {
 
 std::string Cli::get_string(const std::string& name,
                             const std::string& fallback) const {
+  const std::string* v = last_value(name);
+  return v == nullptr ? fallback : *v;
+}
+
+std::vector<std::string> Cli::get_list(const std::string& name) const {
+  std::vector<std::string> out;
   const auto it = flags_.find(name);
-  return it == flags_.end() ? fallback : it->second;
+  if (it == flags_.end()) return out;
+  for (const std::string& occurrence : it->second) {
+    for (auto& item : split_csv(occurrence)) out.push_back(std::move(item));
+  }
+  return out;
+}
+
+std::vector<std::string> Cli::get_list(const std::string& name,
+                                       const std::string& fallback_csv) const {
+  if (has(name)) return get_list(name);
+  return split_csv(fallback_csv);
 }
 
 std::int64_t Cli::get_int(const std::string& name,
                           std::int64_t fallback) const {
-  const auto it = flags_.find(name);
-  if (it == flags_.end()) return fallback;
+  const std::string* v = last_value(name);
+  if (v == nullptr) return fallback;
   try {
-    return std::stoll(it->second);
+    return std::stoll(*v);
   } catch (const std::exception&) {
     throw std::invalid_argument("flag --" + name + " expects an integer, got '" +
-                                it->second + "'");
+                                *v + "'");
   }
 }
 
 std::uint64_t Cli::get_uint(const std::string& name,
                             std::uint64_t fallback) const {
-  const auto it = flags_.find(name);
-  if (it == flags_.end()) return fallback;
+  const std::string* v = last_value(name);
+  if (v == nullptr) return fallback;
   try {
-    return std::stoull(it->second);
+    return std::stoull(*v);
   } catch (const std::exception&) {
     throw std::invalid_argument("flag --" + name +
-                                " expects an unsigned integer, got '" +
-                                it->second + "'");
+                                " expects an unsigned integer, got '" + *v +
+                                "'");
   }
 }
 
 double Cli::get_double(const std::string& name, double fallback) const {
-  const auto it = flags_.find(name);
-  if (it == flags_.end()) return fallback;
+  const std::string* v = last_value(name);
+  if (v == nullptr) return fallback;
   try {
-    return std::stod(it->second);
+    return std::stod(*v);
   } catch (const std::exception&) {
     throw std::invalid_argument("flag --" + name + " expects a number, got '" +
-                                it->second + "'");
+                                *v + "'");
   }
 }
 
 bool Cli::get_bool(const std::string& name, bool fallback) const {
-  const auto it = flags_.find(name);
-  if (it == flags_.end()) return fallback;
-  const std::string& v = it->second;
+  const std::string* value = last_value(name);
+  if (value == nullptr) return fallback;
+  const std::string& v = *value;
   if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
   if (v == "false" || v == "0" || v == "no" || v == "off") return false;
   throw std::invalid_argument("flag --" + name + " expects a boolean, got '" +
@@ -91,10 +116,10 @@ bool Cli::get_bool(const std::string& name, bool fallback) const {
 std::string Cli::get_choice(const std::string& name,
                             const std::string& fallback,
                             std::span<const std::string_view> choices) const {
-  const auto it = flags_.find(name);
-  if (it == flags_.end()) return fallback;
+  const std::string* v = last_value(name);
+  if (v == nullptr) return fallback;
   for (const std::string_view c : choices) {
-    if (it->second == c) return it->second;
+    if (*v == c) return *v;
   }
   std::ostringstream msg;
   msg << "flag --" << name << " expects one of";
@@ -103,7 +128,7 @@ std::string Cli::get_choice(const std::string& name,
     msg << sep << c;
     sep = " | ";
   }
-  msg << ", got '" << it->second << "'";
+  msg << ", got '" << *v << "'";
   throw std::invalid_argument(msg.str());
 }
 
@@ -127,6 +152,11 @@ std::string Cli::render_choices(std::span<const std::string_view> choices) {
 Cli& Cli::describe(const std::string& name, const std::string& help,
                    std::span<const std::string_view> choices) {
   help_.push_back({name + "=" + render_choices(choices), help});
+  return *this;
+}
+
+Cli& Cli::describe_list(const std::string& name, const std::string& help) {
+  help_.push_back({name + "=v1,v2,...", help});
   return *this;
 }
 

@@ -26,6 +26,16 @@ class Cli {
   bool has(const std::string& name) const;
   std::string get_string(const std::string& name,
                          const std::string& fallback) const;
+
+  /// List-valued flag: every occurrence of --name contributes its value,
+  /// each value split on commas, empty items dropped — `--x=a,b --x c`
+  /// yields {a, b, c}. Returns {} when the flag is absent. The scalar
+  /// accessors (get_string & friends) see the LAST occurrence, so a
+  /// repeated scalar flag keeps its historical "last one wins" meaning.
+  std::vector<std::string> get_list(const std::string& name) const;
+  /// Same, but parses `fallback_csv` (comma-separated) when absent.
+  std::vector<std::string> get_list(const std::string& name,
+                                    const std::string& fallback_csv) const;
   std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
   std::uint64_t get_uint(const std::string& name,
                          std::uint64_t fallback) const;
@@ -76,6 +86,9 @@ class Cli {
         name, help,
         std::span<const std::string_view>(choices.begin(), choices.size()));
   }
+  /// List-valued flag (get_list): usage() renders it as --name=v1,v2,...
+  /// so the comma/repeat syntax is discoverable from --help.
+  Cli& describe_list(const std::string& name, const std::string& help);
   std::string usage() const;
 
  private:
@@ -83,8 +96,13 @@ class Cli {
     std::string name;     // as rendered: "name" or "name=<a|b|c>"
     std::string help;
   };
+  /// Every occurrence of a flag, in argv order; scalar accessors read the
+  /// last occurrence, get_list reads them all.
+  std::map<std::string, std::vector<std::string>> flags_;
+  /// Last occurrence of --name, or nullptr when absent.
+  const std::string* last_value(const std::string& name) const;
+
   std::string program_;
-  std::map<std::string, std::string> flags_;
   std::vector<std::string> positional_;
   std::vector<FlagHelp> help_;
 };

@@ -1,0 +1,75 @@
+#include "util/parse.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+namespace radiocast::util {
+
+namespace {
+
+[[noreturn]] void fail(std::string_view what, std::string_view expected,
+                       std::string_view text) {
+  throw std::invalid_argument(std::string(what) + " expects " +
+                              std::string(expected) + ", got '" +
+                              std::string(text) + "'");
+}
+
+}  // namespace
+
+std::vector<std::string> split_csv(std::string_view text, bool keep_empty) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::size_t end = comma == std::string_view::npos ? text.size()
+                                                            : comma;
+    if (end > start || keep_empty) {
+      out.emplace_back(text.substr(start, end - start));
+    }
+    if (comma == std::string_view::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+int parse_positive_int(std::string_view text, std::string_view what) {
+  int value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size() || value < 1) {
+    fail(what, "a positive integer", text);
+  }
+  return value;
+}
+
+std::uint64_t parse_uint(std::string_view text, std::string_view what) {
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc{} || ptr != text.data() + text.size()) {
+    fail(what, "an unsigned integer", text);
+  }
+  return value;
+}
+
+double parse_double(std::string_view text, std::string_view what) {
+  // std::from_chars<double> is still missing from some libstdc++ versions
+  // this project supports, so route through stod with an explicit
+  // full-consumption check.
+  if (text.empty()) fail(what, "a number", text);
+  double value = 0.0;
+  std::size_t consumed = 0;
+  try {
+    value = std::stod(std::string(text), &consumed);
+  } catch (const std::exception&) {
+    fail(what, "a number", text);
+  }
+  if (consumed != text.size() || !std::isfinite(value)) {
+    fail(what, "a finite number", text);
+  }
+  return value;
+}
+
+}  // namespace radiocast::util

@@ -1,0 +1,38 @@
+// Strict string-to-number parsing shared by every configuration surface
+// (CLI flags, environment variables, sweep-grid axis expressions).
+//
+// The std::sto* family silently accepts trailing junk ("8x" -> 8) and
+// std::atoi turns garbage into 0; configuration knobs must instead fail
+// loudly so a typo'd thread count or grid axis never silently degrades a
+// run. Every helper consumes the ENTIRE string or throws
+// std::invalid_argument naming the source (`what`) and the offending text.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace radiocast::util {
+
+/// Splits on ','. With keep_empty the result has exactly one item per
+/// comma-separated position ("a,,b" -> {"a", "", "b"}); without it empty
+/// items are dropped. The single splitter behind Cli::get_list and the
+/// sweep axis grammar — their policies on empty items differ, their
+/// splitting must not.
+std::vector<std::string> split_csv(std::string_view text,
+                                   bool keep_empty = false);
+
+/// Entire string must be a base-10 integer >= 1. Throws
+/// std::invalid_argument ("<what> expects a positive integer, got '...'")
+/// on empty/non-numeric/zero/negative/overflowing input.
+int parse_positive_int(std::string_view text, std::string_view what);
+
+/// Entire string must be a base-10 unsigned integer (0 allowed).
+std::uint64_t parse_uint(std::string_view text, std::string_view what);
+
+/// Entire string must be a finite decimal number (1e-3 style exponents
+/// allowed). Throws std::invalid_argument naming `what` otherwise.
+double parse_double(std::string_view text, std::string_view what);
+
+}  // namespace radiocast::util

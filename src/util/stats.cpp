@@ -52,6 +52,20 @@ double OnlineStats::ci95_halfwidth() const {
   return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
 }
 
+WilsonInterval wilson_interval(std::size_t successes, std::size_t trials,
+                               double z) {
+  if (trials == 0) return {0.0, 1.0};
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(std::min(successes, trials)) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double centre = p + z2 / (2.0 * n);
+  const double spread =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n));
+  return {std::max(0.0, (centre - spread) / denom),
+          std::min(1.0, (centre + spread) / denom)};
+}
+
 void Sample::ensure_sorted() const {
   if (!sorted_) {
     std::sort(values_.begin(), values_.end());

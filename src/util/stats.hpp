@@ -62,6 +62,18 @@ class Sample {
   void ensure_sorted() const;
 };
 
+/// Wilson score interval for a binomial proportion — the success-rate
+/// interval the experiment harness reports. Unlike the normal ("Wald")
+/// interval it stays inside [0,1] and behaves at 0/n and n/n, which is
+/// exactly the regime w.h.p. protocols live in (success counts at or near
+/// `trials`). `z` is the normal quantile (1.96 ~ 95%).
+struct WilsonInterval {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+WilsonInterval wilson_interval(std::size_t successes, std::size_t trials,
+                               double z = 1.96);
+
 /// Least-squares fit of y = a + b*x; used to estimate empirical growth
 /// exponents from log-log data in the benches.
 struct LinearFit {

@@ -135,5 +135,57 @@ TEST(Cli, UsageEnumeratesChoiceValues) {
   EXPECT_NE(u.find("sender-recovery strategy"), std::string::npos);
 }
 
+// ---- list-valued flags (sweep axes)
+
+TEST(Cli, GetListSplitsCommas) {
+  const Cli c = make({"--family=gnp,rgg,grid"});
+  const auto list = c.get_list("family");
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[0], "gnp");
+  EXPECT_EQ(list[1], "rgg");
+  EXPECT_EQ(list[2], "grid");
+}
+
+TEST(Cli, GetListMergesRepeatedOccurrences) {
+  const Cli c = make({"--family=gnp,rgg", "--family", "grid"});
+  const auto list = c.get_list("family");
+  ASSERT_EQ(list.size(), 3u);
+  EXPECT_EQ(list[2], "grid");
+  // Scalar accessors keep "last occurrence wins".
+  EXPECT_EQ(c.get_string("family", ""), "grid");
+}
+
+TEST(Cli, GetListAbsentAndFallback) {
+  const Cli c = make({});
+  EXPECT_TRUE(c.get_list("family").empty());
+  const auto fallback = c.get_list("family", "gnp,cliquepath");
+  ASSERT_EQ(fallback.size(), 2u);
+  EXPECT_EQ(fallback[1], "cliquepath");
+  // A present flag beats the fallback.
+  const Cli d = make({"--family=grid"});
+  ASSERT_EQ(d.get_list("family", "gnp,cliquepath").size(), 1u);
+}
+
+TEST(Cli, GetListDropsEmptyItems) {
+  const Cli c = make({"--n=1,,2,"});
+  const auto list = c.get_list("n");
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list[0], "1");
+  EXPECT_EQ(list[1], "2");
+}
+
+TEST(Cli, RepeatedScalarFlagLastWins) {
+  const Cli c = make({"--n=1", "--n=7"});
+  EXPECT_EQ(c.get_int("n", 0), 7);
+}
+
+TEST(Cli, UsageRendersListFlags) {
+  Cli c = make({});
+  c.describe_list("family", "graph families to sweep");
+  const std::string u = c.usage();
+  EXPECT_NE(u.find("--family=v1,v2,..."), std::string::npos);
+  EXPECT_NE(u.find("graph families to sweep"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace radiocast::util

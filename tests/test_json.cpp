@@ -1,0 +1,102 @@
+// util::Json: the one JSON implementation behind bench_out emission and
+// sweep manifests. The properties that matter downstream: insertion-
+// ordered object keys (stable, diffable files), round-trip parse/dump,
+// integral doubles rendered without a decimal point, and loud errors on
+// malformed documents.
+#include "util/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace radiocast::util {
+namespace {
+
+TEST(Json, ScalarsDump) {
+  EXPECT_EQ(Json().dump(-1), "null");
+  EXPECT_EQ(Json(true).dump(-1), "true");
+  EXPECT_EQ(Json(false).dump(-1), "false");
+  EXPECT_EQ(Json(42).dump(-1), "42");
+  EXPECT_EQ(Json(42.0).dump(-1), "42");  // integral double -> integer form
+  EXPECT_EQ(Json(0.5).dump(-1), "0.5");
+  EXPECT_EQ(Json("hi").dump(-1), "\"hi\"");
+  EXPECT_EQ(Json(std::nan("")).dump(-1), "null");  // JSON has no NaN
+}
+
+TEST(Json, ObjectKeepsInsertionOrder) {
+  Json j = Json::object();
+  j.set("zeta", 1).set("alpha", 2).set("mid", 3);
+  EXPECT_EQ(j.dump(-1), "{\"zeta\":1,\"alpha\":2,\"mid\":3}");
+  // Re-setting an existing key replaces in place, keeping its position.
+  j.set("alpha", 9);
+  EXPECT_EQ(j.dump(-1), "{\"zeta\":1,\"alpha\":9,\"mid\":3}");
+}
+
+TEST(Json, FindAndAccessors) {
+  Json j = Json::object();
+  j.set("s", "text").set("n", 2.5).set("b", true);
+  ASSERT_NE(j.find("s"), nullptr);
+  EXPECT_EQ(j.find("s")->as_string(), "text");
+  EXPECT_DOUBLE_EQ(j.find("n")->as_number(), 2.5);
+  EXPECT_TRUE(j.find("b")->as_bool());
+  EXPECT_EQ(j.find("missing"), nullptr);
+  EXPECT_THROW(j.find("s")->as_number(), std::invalid_argument);
+}
+
+TEST(Json, StringEscaping) {
+  Json j = Json(std::string("a\"b\\c\nd"));
+  EXPECT_EQ(j.dump(-1), "\"a\\\"b\\\\c\\nd\"");
+  const Json back = Json::parse(j.dump(-1));
+  EXPECT_EQ(back.as_string(), "a\"b\\c\nd");
+}
+
+TEST(Json, ParseDocument) {
+  const Json j = Json::parse(R"({
+    "version": 1,
+    "axes": {"n": [512, 1024], "p": "geom:0.001..0.1:5"},
+    "flag": true,
+    "nothing": null
+  })");
+  ASSERT_TRUE(j.is_object());
+  EXPECT_DOUBLE_EQ(j.find("version")->as_number(), 1.0);
+  const Json* axes = j.find("axes");
+  ASSERT_NE(axes, nullptr);
+  ASSERT_EQ(axes->find("n")->size(), 2u);
+  EXPECT_DOUBLE_EQ(axes->find("n")->at(1).as_number(), 1024.0);
+  EXPECT_EQ(axes->find("p")->as_string(), "geom:0.001..0.1:5");
+  EXPECT_TRUE(j.find("nothing")->is_null());
+}
+
+TEST(Json, RoundTripPreservesStructure) {
+  Json j = Json::object();
+  j.set("list", Json::array().push_back(1).push_back("two").push_back(false));
+  j.set("nested", Json::object().set("x", 1e-3));
+  const Json back = Json::parse(j.dump(2));
+  EXPECT_EQ(back.dump(-1), j.dump(-1));
+}
+
+TEST(Json, ParseErrorsNameTheOffset) {
+  EXPECT_THROW(Json::parse(""), std::invalid_argument);
+  EXPECT_THROW(Json::parse("{"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("[1,]"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("{\"a\" 1}"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("tru"), std::invalid_argument);
+  EXPECT_THROW(Json::parse("1 2"), std::invalid_argument);  // trailing junk
+  try {
+    Json::parse("[1, oops]");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("offset"), std::string::npos);
+  }
+}
+
+TEST(Json, BuildersRejectTypeMisuse) {
+  Json arr = Json::array();
+  EXPECT_THROW(arr.set("k", 1), std::invalid_argument);
+  Json obj = Json::object();
+  EXPECT_THROW(obj.push_back(1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace radiocast::util

@@ -161,5 +161,40 @@ TEST(Histogram, AsciiRendersEveryBin) {
   EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), 4);
 }
 
+// ---- Wilson score intervals (sweep success rates)
+
+TEST(Wilson, KnownValue) {
+  // 8/10 at z=1.96: the classic worked example — [0.490, 0.943].
+  const WilsonInterval w = wilson_interval(8, 10);
+  EXPECT_NEAR(w.lo, 0.4902, 5e-4);
+  EXPECT_NEAR(w.hi, 0.9433, 5e-4);
+}
+
+TEST(Wilson, StaysInsideUnitIntervalAtTheEdges) {
+  const WilsonInterval all = wilson_interval(20, 20);
+  EXPECT_GT(all.lo, 0.8);   // informative even at p-hat = 1
+  EXPECT_DOUBLE_EQ(all.hi, 1.0);
+  const WilsonInterval none = wilson_interval(0, 20);
+  EXPECT_DOUBLE_EQ(none.lo, 0.0);
+  EXPECT_LT(none.hi, 0.2);  // informative even at p-hat = 0
+}
+
+TEST(Wilson, DegenerateAndNarrowingCases) {
+  const WilsonInterval empty = wilson_interval(0, 0);
+  EXPECT_DOUBLE_EQ(empty.lo, 0.0);
+  EXPECT_DOUBLE_EQ(empty.hi, 1.0);
+  // More trials at the same rate narrow the interval.
+  const WilsonInterval small = wilson_interval(8, 16);
+  const WilsonInterval big = wilson_interval(800, 1600);
+  EXPECT_LT(big.hi - big.lo, small.hi - small.lo);
+  // The point estimate always lies inside.
+  for (std::size_t s : {0u, 3u, 9u, 10u}) {
+    const WilsonInterval w = wilson_interval(s, 10);
+    const double p = s / 10.0;
+    EXPECT_LE(w.lo, p);
+    EXPECT_GE(w.hi, p);
+  }
+}
+
 }  // namespace
 }  // namespace radiocast::util
