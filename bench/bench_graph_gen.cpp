@@ -1,0 +1,153 @@
+// `radiocast_bench graph-gen` — generation throughput per graph family.
+//
+// Builds each pargen family once per n and reports edges/second, the
+// number the million-node sweep items care about: generation is off the
+// critical path when these rates dwarf the protocol replication cost.
+// The gnp-bernoulli row runs the reference O(n^2) Bernoulli loop (pargen's
+// gnp_compat mode) at the sizes where it is bearable, so the speedup of
+// the skip sampler over the seed generator stays measured, not assumed.
+//
+//   radiocast_bench graph-gen --quick
+//   radiocast_bench graph-gen --n=100000,1000000 --gen-threads=4
+//   radiocast_bench graph-gen --family=gnp,ba   # subset of the families
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "exp/spec.hpp"
+#include "graph/pargen.hpp"
+#include "sim/scenario.hpp"
+#include "util/json.hpp"
+#include "util/table.hpp"
+
+using namespace radiocast;
+
+namespace {
+
+struct GenCase {
+  std::string label;
+  /// Largest n this case runs at (the Bernoulli reference is quadratic).
+  std::uint64_t max_n;
+  graph::Graph (*build)(graph::NodeId n, std::uint64_t seed, int threads);
+};
+
+constexpr double kTargetDeg = 12.0;
+
+graph::Graph build_gnp(graph::NodeId n, std::uint64_t seed, int threads) {
+  return graph::pargen::gnp(n, std::min(1.0, kTargetDeg / n), seed,
+                            {.threads = threads});
+}
+
+graph::Graph build_gnp_bernoulli(graph::NodeId n, std::uint64_t seed,
+                                 int threads) {
+  (void)threads;  // the reference loop is sequential by definition
+  return graph::pargen::gnp(n, std::min(1.0, kTargetDeg / n), seed,
+                            {.gnp_compat = true});
+}
+
+graph::Graph build_rgg(graph::NodeId n, std::uint64_t seed, int threads) {
+  // Radius giving expected average degree ~kTargetDeg: pi r^2 n = deg.
+  const double radius = std::sqrt(kTargetDeg / (3.14159265358979 * n));
+  return graph::pargen::random_geometric(n, radius, seed,
+                                         {.threads = threads});
+}
+
+graph::Graph build_ba(graph::NodeId n, std::uint64_t seed, int threads) {
+  // attach = deg/2: BA average degree approaches 2 * attach.
+  return graph::pargen::barabasi_albert(
+      n, static_cast<std::uint32_t>(kTargetDeg / 2), seed,
+      {.threads = threads});
+}
+
+graph::Graph build_powerlaw(graph::NodeId n, std::uint64_t seed,
+                            int threads) {
+  return graph::pargen::chung_lu(n, 2.5, kTargetDeg, seed,
+                                 {.threads = threads});
+}
+
+}  // namespace
+
+RADIOCAST_SCENARIO(graph_gen, "graph-gen",
+                   "generation throughput (edges/s) of the pargen families "
+                   "at large n, incl. the Bernoulli gnp reference") {
+  const std::uint64_t seed = ctx.seed(29);
+  const int gen_threads = ctx.gen_threads();
+  const int resolved = graph::pargen::resolve_threads(gen_threads);
+
+  std::vector<std::uint64_t> ns =
+      ctx.quick() ? std::vector<std::uint64_t>{20'000, 50'000}
+                  : std::vector<std::uint64_t>{100'000, 1'000'000};
+  if (ctx.cli.has("n")) {
+    ns = exp::parse_int_axis(ctx.cli.get_string("n", ""), "flag --n");
+  }
+
+  const std::vector<GenCase> cases{
+      {"gnp", ~0ull, &build_gnp},
+      // The quadratic reference gets ~12 s at n=1e5; never run it bigger.
+      {"gnp-bernoulli", 100'000, &build_gnp_bernoulli},
+      {"rgg", ~0ull, &build_rgg},
+      {"ba", ~0ull, &build_ba},
+      {"powerlaw", ~0ull, &build_powerlaw},
+  };
+
+  // --family= restricts the run to a subset (the ASan smoke wants n=1e5
+  // without the quadratic Bernoulli reference); unknown labels fail loudly.
+  const std::vector<std::string> wanted = ctx.cli.get_list("family");
+  for (const std::string& w : wanted) {
+    if (std::none_of(cases.begin(), cases.end(),
+                     [&](const GenCase& c) { return c.label == w; })) {
+      throw std::invalid_argument("graph-gen: unknown --family value '" + w +
+                                  "' (gnp, gnp-bernoulli, rgg, ba, powerlaw)");
+    }
+  }
+  const auto selected = [&](const GenCase& c) {
+    return wanted.empty() ||
+           std::find(wanted.begin(), wanted.end(), c.label) != wanted.end();
+  };
+
+  util::Table table({"family", "n", "m", "gen_ms", "edges_per_s"});
+  util::Json points = util::Json::array();
+  for (const std::uint64_t n : ns) {
+    for (const GenCase& c : cases) {
+      if (n > c.max_n || !selected(c)) continue;
+      const auto start = std::chrono::steady_clock::now();
+      const graph::Graph g =
+          c.build(static_cast<graph::NodeId>(n), seed, gen_threads);
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+      const double edges_per_s =
+          ms > 0.0 ? static_cast<double>(g.edge_count()) * 1e3 / ms : 0.0;
+      table.row()
+          .add(c.label)
+          .add(n)
+          .add(g.edge_count())
+          .add(ms, 1)
+          .add(edges_per_s, 0);
+      util::Json p = util::Json::object();
+      p.set("family", c.label);
+      p.set("n", n);
+      p.set("edges", g.edge_count());
+      p.set("gen_ms", ms);
+      p.set("edges_per_s", edges_per_s);
+      points.push_back(std::move(p));
+    }
+  }
+
+  ctx.emit(table,
+           "graph-gen: one build per (family, n), gen-threads=" +
+               std::to_string(resolved),
+           "graph-gen");
+  ctx.note("(gnp-bernoulli = the O(n^2) reference loop the skip sampler "
+           "replaces; capped at n=1e5)");
+
+  util::Json doc = util::Json::object();
+  doc.set("kind", "graph-gen");
+  doc.set("gen_threads", static_cast<std::uint64_t>(resolved));
+  doc.set("seed", seed);
+  doc.set("points", std::move(points));
+  ctx.emit_json("graph-gen", std::move(doc));
+}

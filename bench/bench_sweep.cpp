@@ -48,12 +48,17 @@ RADIOCAST_SCENARIO(sweep, "sweep",
   }
 
   const bool timing = ctx.cli.get_bool("timing", true);
-  exp::Planner planner;
+  // Instance cache on (the default): grid points sharing instance
+  // coordinates — execution axes, replication batches — reuse one pargen
+  // build. --gen-cache=off rebuilds per batch for A/B cost measurements.
+  const exp::Planner planner{{.gen_threads = ctx.gen_threads(),
+                              .cache = ctx.cli.get_bool("gen-cache", true)}};
   const std::vector<exp::PointResult> results = planner.run(jobs, ctx.runner);
 
   util::Table table(exp::long_headers(timing));
   for (const exp::PointResult& point : results) {
-    exp::add_long_row(table, exp::point_meta(point), point.acc, timing);
+    exp::add_long_row(table, exp::point_meta(point), point.acc, timing,
+                      &point.gen);
   }
   ctx.emit(table,
            "sweep: " + std::to_string(results.size()) +

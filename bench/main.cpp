@@ -66,6 +66,11 @@ void print_usage(const char* program) {
       << "                 sharded-backend worker count (absent = the\n"
       << "                 RADIOCAST_SHARD_THREADS env var, else hardware;\n"
       << "                 must be a positive integer when given)\n"
+      << "  --gen-threads=N\n"
+      << "                 graph-generation worker count (absent = the\n"
+      << "                 RADIOCAST_GEN_THREADS env var, else hardware;\n"
+      << "                 must be a positive integer when given; never\n"
+      << "                 changes generated graphs, only build speed)\n"
       << "  --out=DIR      CSV/JSON output directory (default bench_out;\n"
       << "                 empty string disables file output)\n"
       << "\n"
@@ -79,8 +84,13 @@ void print_usage(const char* program) {
       << "  --dry-run      list the expanded jobs without running them\n"
       << "  --timing=off   omit wall/phase timing from sweep.csv/json\n"
       << "                 (output is then byte-identical across runs)\n"
-      << "  (--medium/--recovery take comma lists here; --lanes, --reps,\n"
-      << "   --sources, --max-rounds, --seed scale the grid)\n";
+      << "  --gen-cache=off\n"
+      << "                 rebuild the graph per replication batch instead\n"
+      << "                 of caching one instance per grid point\n"
+      << "  (--medium/--recovery take comma lists here; family axes are\n"
+      << "   --p/--radius/--m/--exp/--d with --pl-deg as the powerlaw\n"
+      << "   degree knob; --lanes, --reps, --sources, --max-rounds,\n"
+      << "   --seed scale the grid)\n";
 }
 
 }  // namespace
@@ -130,6 +140,7 @@ int main(int argc, char** argv) {
     if (cli.has("medium") && !is_sweep) (void)ctx.medium_kind();
     if (cli.has("recovery") && !is_sweep) (void)ctx.recovery_strategy();
     if (cli.has("medium-threads")) (void)ctx.medium_threads();
+    if (cli.has("gen-threads")) (void)ctx.gen_threads();
     if (cli.has("out")) ctx.out_dir = cli.get_string("out", "bench_out");
     const auto start = std::chrono::steady_clock::now();
     registry.run(cli.subcommand(), ctx);

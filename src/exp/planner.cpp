@@ -3,7 +3,9 @@
 #include <bit>
 #include <chrono>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
+#include <unordered_map>
 
 #include "core/broadcast.hpp"
 #include "core/compete_batched.hpp"
@@ -36,6 +38,12 @@ void family_params(const SweepSpec& spec, const std::string& family,
   } else if (family == "rgg") {
     name = "radius";
     values = spec.radius;
+  } else if (family == "ba") {
+    name = "m";
+    values.assign(spec.ba_m.begin(), spec.ba_m.end());
+  } else if (family == "powerlaw") {
+    name = "exp";
+    values = spec.exponent;
   } else if (family == "cliquepath") {
     name = "d";
     values.assign(spec.d.begin(), spec.d.end());
@@ -128,6 +136,7 @@ std::vector<Job> expand(const SweepSpec& spec) {
               job.max_rounds = spec.max_rounds;
               job.seed = point_seed;
               job.instance_seed = util::mix_seed(point_seed, 0xA11CEu);
+              job.pl_deg = spec.pl_deg;
               jobs.push_back(std::move(job));
             }
           }
@@ -138,22 +147,25 @@ std::vector<Job> expand(const SweepSpec& spec) {
   return jobs;
 }
 
-sim::Instance build_instance(const Job& job) {
+sim::Instance build_instance(const Job& job, int gen_threads) {
   if (job.family == "gnp") {
-    util::Rng rng(job.instance_seed);
     const double p = job.param_name == "deg"
                          ? std::min(1.0, job.param / job.n)
                          : job.param;
-    sim::Instance inst;
-    inst.g = graph::gnp(job.n, p, rng);
-    inst.diameter = graph::diameter_double_sweep(inst.g);
-    inst.name = "gnp(n=" + std::to_string(job.n) +
-                ",p=" + util::json_number(p) + ")";
-    return inst;
+    return sim::make_gnp_instance(job.n, p, job.instance_seed, gen_threads);
   }
   if (job.family == "rgg") {
-    util::Rng rng(job.instance_seed);
-    return sim::make_rgg_instance(job.n, job.param, rng);
+    return sim::make_rgg_instance(job.n, job.param, job.instance_seed,
+                                  gen_threads);
+  }
+  if (job.family == "ba") {
+    return sim::make_ba_instance(job.n,
+                                 static_cast<std::uint32_t>(job.param),
+                                 job.instance_seed, gen_threads);
+  }
+  if (job.family == "powerlaw") {
+    return sim::make_powerlaw_instance(job.n, job.param, job.pl_deg,
+                                       job.instance_seed, gen_threads);
   }
   if (job.family == "cliquepath") {
     return sim::make_cliquepath_instance(
@@ -218,6 +230,9 @@ struct TaskOut {
   std::vector<LaneOutcome> lanes;
   radio::PhaseTimers phases;
   double wall_ms = 0.0;
+  /// Time this task spent generating its own instance (0 when it ran on a
+  /// cached one).
+  std::uint64_t gen_ns = 0;
   std::uint32_t n_actual = 0;
   std::uint32_t diameter = 0;
 };
@@ -228,10 +243,29 @@ struct Task {
   int count = 0;
 };
 
-TaskOut run_task(const Job& job, int first_rep, int count) {
-  const double t0 = now_ms();
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// `shared` non-null = the Planner cache's prebuilt instance; null = build
+/// here (cache off) and report the cost in out.gen_ns. Either way wall_ms
+/// covers the protocol replications only — generation cost is accounted
+/// separately so the two are comparable across cache modes.
+TaskOut run_task(const Job& job, int first_rep, int count,
+                 const sim::Instance* shared, int gen_threads) {
   TaskOut out;
-  const sim::Instance inst = build_instance(job);
+  sim::Instance local;
+  if (shared == nullptr) {
+    const std::uint64_t g0 = now_ns();
+    local = build_instance(job, gen_threads);
+    out.gen_ns = now_ns() - g0;
+    shared = &local;
+  }
+  const sim::Instance& inst = *shared;
+  const double t0 = now_ms();
   out.n_actual = inst.g.node_count();
   out.diameter = inst.diameter;
   out.lanes.reserve(static_cast<std::size_t>(count));
@@ -279,6 +313,34 @@ TaskOut run_task(const Job& job, int first_rep, int count) {
 
 }  // namespace
 
+namespace {
+
+/// Instance identity for the Planner cache: every field the generated
+/// graph is a function of. Jobs differing only in protocol / medium /
+/// recovery / reps map to the same key by construction (expand() derives
+/// instance_seed from the instance coordinates alone).
+std::string instance_key(const Job& job) {
+  std::string key = job.family;
+  key += '|';
+  key += job.param_name;
+  key += '|';
+  key += util::json_number(job.param);
+  key += '|';
+  key += std::to_string(job.n);
+  key += '|';
+  key += util::json_number(job.pl_deg);
+  key += '|';
+  key += std::to_string(job.instance_seed);
+  return key;
+}
+
+struct BuiltInstance {
+  std::shared_ptr<const sim::Instance> instance;
+  std::uint64_t gen_ns = 0;
+};
+
+}  // namespace
+
 std::vector<PointResult> Planner::run(std::span<const Job> jobs,
                                       sim::Runner& runner) const {
   // Flatten jobs into (job, lane-batch) tasks so small per-job batch
@@ -292,10 +354,46 @@ std::vector<PointResult> Planner::run(std::span<const Job> jobs,
     }
   }
 
+  // Instance cache: deduplicate jobs by instance identity, build each
+  // unique instance ONCE (over the runner pool; the pargen chunk scheme
+  // additionally parallelises inside a build), and hand every task a
+  // shared_ptr. Grids where only execution axes or replication batches
+  // vary regenerate nothing. All unique instances stay resident for the
+  // run — the cost profile the million-node acceptance sweep wants (one
+  // point at a time dominates memory anyway).
+  std::vector<int> job_instance(jobs.size(), -1);
+  std::vector<int> representative;  // unique instance -> first job index
+  std::vector<BuiltInstance> built;
+  if (options_.cache) {
+    std::unordered_map<std::string, int> keys;
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      const auto [it, inserted] = keys.try_emplace(
+          instance_key(jobs[j]), static_cast<int>(representative.size()));
+      if (inserted) representative.push_back(static_cast<int>(j));
+      job_instance[j] = it->second;
+    }
+    auto builds =
+        runner.map(static_cast<int>(representative.size()), [&](int i) {
+          const std::uint64_t g0 = now_ns();
+          auto instance = std::make_shared<const sim::Instance>(build_instance(
+              jobs[static_cast<std::size_t>(
+                  representative[static_cast<std::size_t>(i)])],
+              options_.gen_threads));
+          return BuiltInstance{std::move(instance), now_ns() - g0};
+        });
+    built = std::move(builds);
+  }
+
   const auto outs = runner.map(static_cast<int>(tasks.size()), [&](int t) {
     const Task& task = tasks[static_cast<std::size_t>(t)];
+    const sim::Instance* shared =
+        options_.cache
+            ? built[static_cast<std::size_t>(
+                        job_instance[static_cast<std::size_t>(task.job)])]
+                  .instance.get()
+            : nullptr;
     return run_task(jobs[static_cast<std::size_t>(task.job)], task.first_rep,
-                    task.count);
+                    task.count, shared, options_.gen_threads);
   });
 
   // Fold strictly in task order: the accumulators (and therefore every
@@ -309,6 +407,7 @@ std::vector<PointResult> Planner::run(std::span<const Job> jobs,
     PointResult& point = results[static_cast<std::size_t>(tasks[t].job)];
     point.n_actual = out.n_actual;
     point.diameter = out.diameter;
+    point.gen.gen_ns += out.gen_ns;
     for (const LaneOutcome& lane : out.lanes) {
       point.acc.add(lane.success, lane.rounds, lane.deliveries,
                     lane.transmissions, lane.informed);
@@ -316,6 +415,36 @@ std::vector<PointResult> Planner::run(std::span<const Job> jobs,
     point.acc.add_phases(out.phases);
     point.acc.add_wall_ms(out.wall_ms);
   }
+
+  // Hit/miss attribution is STATIC — derived from the deterministic task
+  // list, not from which worker touched the cache first — so the counters
+  // are byte-stable across thread counts: the first task (in task order)
+  // of each unique instance is the miss, every later task a hit.
+  if (options_.cache) {
+    std::vector<bool> missed(built.size(), false);
+    for (const Task& task : tasks) {
+      const auto inst =
+          static_cast<std::size_t>(job_instance[static_cast<std::size_t>(
+              task.job)]);
+      PointResult& point = results[static_cast<std::size_t>(task.job)];
+      if (!missed[inst]) {
+        missed[inst] = true;
+        ++point.gen.cache_misses;
+      } else {
+        ++point.gen.cache_hits;
+      }
+    }
+    for (std::size_t j = 0; j < jobs.size(); ++j) {
+      results[j].gen.gen_ns =
+          built[static_cast<std::size_t>(job_instance[j])].gen_ns;
+    }
+  } else {
+    // Cache off: every task built its own instance; each build is a miss.
+    for (const Task& task : tasks) {
+      ++results[static_cast<std::size_t>(task.job)].gen.cache_misses;
+    }
+  }
+
   for (PointResult& point : results) {
     point.acc.set_theory_bound(theory_bound(
         point.job.protocol, point.n_actual, point.diameter, point.job.sources));

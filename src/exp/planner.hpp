@@ -56,6 +56,8 @@ struct Job {
   std::uint64_t seed = 0;
   /// Seed the graph instance is generated from (shared likewise).
   std::uint64_t instance_seed = 0;
+  /// powerlaw only: target average degree (the spec's pl-deg knob).
+  double pl_deg = 12.0;
 
   /// "gnp[deg=12]/n=1024/decay/bitslice/auto" — the human job id used by
   /// --dry-run listings and error messages.
@@ -66,6 +68,19 @@ struct Job {
 /// spec always yields the same jobs in the same order.
 std::vector<Job> expand(const SweepSpec& spec);
 
+/// Instance-generation cost/caching statistics for one grid point. All of
+/// it is wall-clock-derived or scheduling-describing metadata, so reports
+/// only surface it behind the timing flag (`--timing=off` byte-stability).
+struct GenStats {
+  /// Wall time spent generating this point's instance ONCE. Points that
+  /// share a cached instance report the same build's time.
+  std::uint64_t gen_ns = 0;
+  /// How many of this point's lane-batch tasks reused the cached instance
+  /// vs triggered (or, cache off, repeated) a build.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+};
+
 /// One executed grid point: the job, the instance it materialised
 /// (n_actual can differ from job.n for the grid family; diameter is
 /// measured), and the folded replication statistics with the theory
@@ -74,12 +89,14 @@ struct PointResult {
   Job job;
   std::uint32_t n_actual = 0;
   std::uint32_t diameter = 0;
+  GenStats gen;
   Accumulator acc;
 };
 
 /// Builds the graph instance a job runs on — deterministic from the job
-/// alone, so every lane batch of a job sees the same topology.
-sim::Instance build_instance(const Job& job);
+/// alone (and independent of gen_threads), so every lane batch of a job
+/// sees the same topology.
+sim::Instance build_instance(const Job& job, int gen_threads = 0);
 
 /// The core/theory bound overlaid at a grid point: bound_bgi for decay,
 /// bound_compete for compete, bound_cd for cd.
@@ -88,11 +105,29 @@ double theory_bound(const std::string& protocol, std::uint32_t n,
 
 class Planner {
  public:
+  struct Options {
+    /// Generation pool width per instance build (pargen::resolve_threads
+    /// semantics; 0 = env/auto). Never affects output bytes.
+    int gen_threads = 0;
+    /// When true (default), jobs sharing an instance seed — medium and
+    /// recovery execution axes, and every replication batch of a job —
+    /// reuse ONE graph build held via shared_ptr. Off exists for the
+    /// cache-correctness tests and A/B cost measurements; outcomes (and,
+    /// with timing off, report bytes) are identical either way.
+    bool cache = true;
+  };
+
+  Planner() = default;
+  explicit Planner(Options options) : options_(options) {}
+
   /// Runs every job's replications over the runner pool; results are
   /// byte-identical for any runner thread count. Throws what the protocol
   /// cores throw (first task error wins, like Runner::map).
   std::vector<PointResult> run(std::span<const Job> jobs,
                                sim::Runner& runner) const;
+
+ private:
+  Options options_;
 };
 
 }  // namespace radiocast::exp

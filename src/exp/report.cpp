@@ -75,13 +75,14 @@ std::vector<std::string> long_headers(bool timing) {
       "bound",       "x_bound"};
   if (timing) {
     headers.insert(headers.end(),
-                   {"wall_ms", "traverse_ms", "output_ms", "recover_ms"});
+                   {"wall_ms", "traverse_ms", "output_ms", "recover_ms",
+                    "gen_ms", "gen_hits", "gen_miss"});
   }
   return headers;
 }
 
 void add_long_row(util::Table& table, const PointMeta& meta,
-                  const Accumulator& acc, bool timing) {
+                  const Accumulator& acc, bool timing, const GenStats* gen) {
   const util::WilsonInterval wilson = acc.wilson();
   auto& row = table.row()
                   .add(meta.family)
@@ -112,12 +113,15 @@ void add_long_row(util::Table& table, const PointMeta& meta,
     row.add(acc.wall_ms(), 1)
         .add(static_cast<double>(acc.phases().traverse_ns) / 1e6, 1)
         .add(static_cast<double>(acc.phases().output_ns) / 1e6, 1)
-        .add(static_cast<double>(acc.phases().recover_ns) / 1e6, 1);
+        .add(static_cast<double>(acc.phases().recover_ns) / 1e6, 1)
+        .add(gen ? static_cast<double>(gen->gen_ns) / 1e6 : 0.0, 1)
+        .add(gen ? gen->cache_hits : 0)
+        .add(gen ? gen->cache_misses : 0);
   }
 }
 
 util::Json point_json(const PointMeta& meta, const Accumulator& acc,
-                      bool timing) {
+                      bool timing, const GenStats* gen) {
   const util::WilsonInterval wilson = acc.wilson();
   util::Json j = util::Json::object();
   j.set("family", meta.family);
@@ -164,6 +168,11 @@ util::Json point_json(const PointMeta& meta, const Accumulator& acc,
           static_cast<std::uint64_t>(acc.phases().idplane_rounds));
     t.set("constfold_rounds",
           static_cast<std::uint64_t>(acc.phases().constfold_rounds));
+    if (gen != nullptr) {
+      t.set("gen_ns", gen->gen_ns);
+      t.set("cache_hits", gen->cache_hits);
+      t.set("cache_misses", gen->cache_misses);
+    }
     j.set("timing", std::move(t));
   }
   return j;
@@ -190,9 +199,23 @@ util::Json sweep_json(const SweepSpec& spec,
   util::Json j = util::Json::object();
   j.set("kind", "sweep");
   j.set("spec", spec.to_json());
+  if (timing) {
+    // Grid-wide instance-cache rollup: one glance says whether generation
+    // was amortised (hits) or on the critical path (misses).
+    std::uint64_t hits = 0, misses = 0;
+    for (const PointResult& point : results) {
+      hits += point.gen.cache_hits;
+      misses += point.gen.cache_misses;
+    }
+    util::Json cache = util::Json::object();
+    cache.set("hits", hits);
+    cache.set("misses", misses);
+    j.set("cache", std::move(cache));
+  }
   util::Json points = util::Json::array();
   for (const PointResult& point : results) {
-    points.push_back(point_json(point_meta(point), point.acc, timing));
+    points.push_back(
+        point_json(point_meta(point), point.acc, timing, &point.gen));
   }
   j.set("points", std::move(points));
   return j;

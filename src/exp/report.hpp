@@ -66,14 +66,20 @@ struct PointMeta {
   int lanes = 1;
 };
 
-/// Long-format column set; `timing` appends the wall/phase columns.
+/// Long-format column set; `timing` appends the wall/phase columns plus
+/// the instance-generation columns (gen_ms, gen_hits, gen_miss).
 std::vector<std::string> long_headers(bool timing);
 /// Renders one accumulator as a long-format row (table and CSV share it).
+/// `gen` fills the generation columns when timing is on (scenarios without
+/// generation stats pass nullptr and get zeros).
 void add_long_row(util::Table& table, const PointMeta& meta,
-                  const Accumulator& acc, bool timing);
-/// One grid point as a JSON object (same fields as the row, nested).
+                  const Accumulator& acc, bool timing,
+                  const GenStats* gen = nullptr);
+/// One grid point as a JSON object (same fields as the row, nested). With
+/// timing on and `gen` given, the timing block carries gen_ns /
+/// cache_hits / cache_misses.
 util::Json point_json(const PointMeta& meta, const Accumulator& acc,
-                      bool timing);
+                      bool timing, const GenStats* gen = nullptr);
 
 /// PointResult conveniences for the sweep subcommand.
 PointMeta point_meta(const PointResult& point);

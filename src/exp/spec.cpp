@@ -138,6 +138,10 @@ void apply_axis(SweepSpec& spec, const std::string& key,
     spec.p = parse_double_axis(text, what);
   } else if (key == "radius") {
     spec.radius = parse_double_axis(value, what);
+  } else if (key == "m") {
+    spec.ba_m = to_u32(parse_int_axis(value, what), what);
+  } else if (key == "exp") {
+    spec.exponent = parse_double_axis(value, what);
   } else if (key == "d") {
     spec.d = to_u32(parse_int_axis(value, what), what);
   } else if (key == "protocol") {
@@ -169,8 +173,8 @@ SweepSpec SweepSpec::from_cli(const util::Cli& cli, bool quick) {
   if (cli.has("manifest")) {
     spec = from_manifest_file(cli.get_string("manifest", ""));
   }
-  for (const char* axis :
-       {"family", "n", "p", "radius", "d", "protocol", "medium", "recovery"}) {
+  for (const char* axis : {"family", "n", "p", "radius", "m", "exp", "d",
+                           "protocol", "medium", "recovery"}) {
     if (!cli.has(axis)) continue;
     // Join repeated occurrences so `--family gnp --family rgg` works like
     // `--family=gnp,rgg`; range expressions are single-occurrence anyway.
@@ -190,6 +194,10 @@ SweepSpec SweepSpec::from_cli(const util::Cli& cli, bool quick) {
   if (cli.has("reps")) {
     spec.reps =
         util::parse_positive_int(cli.get_string("reps", ""), "flag --reps");
+  }
+  if (cli.has("pl-deg")) {
+    spec.pl_deg =
+        util::parse_double(cli.get_string("pl-deg", ""), "flag --pl-deg");
   }
   if (cli.has("seed")) spec.seed = cli.get_uint("seed", spec.seed);
   if (cli.has("sources")) {
@@ -280,6 +288,12 @@ SweepSpec SweepSpec::from_json(const util::Json& manifest) {
       spec.seed = manifest_uint(value, key);
     } else if (key == "sources") {
       spec.sources = static_cast<int>(manifest_uint(value, key));
+    } else if (key == "pl-deg") {
+      if (value.is_string()) {
+        spec.pl_deg = util::parse_double(value.as_string(), "manifest 'pl-deg'");
+      } else {
+        spec.pl_deg = value.as_number();
+      }
     } else if (key == "max-rounds") {
       spec.max_rounds = manifest_uint(value, key);
     } else {
@@ -331,6 +345,13 @@ util::Json SweepSpec::to_json() const {
   util::Json rs = util::Json::array();
   for (const double v : radius) rs.push_back(v);
   j.set("radius", std::move(rs));
+  util::Json ms = util::Json::array();
+  for (const auto v : ba_m) ms.push_back(std::uint64_t{v});
+  j.set("m", std::move(ms));
+  util::Json exps = util::Json::array();
+  for (const double v : exponent) exps.push_back(v);
+  j.set("exp", std::move(exps));
+  j.set("pl-deg", pl_deg);
   util::Json ds = util::Json::array();
   for (const auto v : d) ds.push_back(std::uint64_t{v});
   j.set("d", std::move(ds));
@@ -383,6 +404,11 @@ void SweepSpec::validate() const {
       std::find(families.begin(), families.end(), "rgg") != families.end();
   const bool needs_d = std::find(families.begin(), families.end(),
                                  "cliquepath") != families.end();
+  const bool needs_m =
+      std::find(families.begin(), families.end(), "ba") != families.end();
+  const bool needs_exp =
+      std::find(families.begin(), families.end(), "powerlaw") !=
+      families.end();
   if (needs_p) {
     check_nonempty(p.empty(), "p");
     for (const double v : p) {
@@ -402,6 +428,29 @@ void SweepSpec::validate() const {
                                     util::json_number(v) +
                                     " must be positive");
       }
+    }
+  }
+  if (needs_m) {
+    check_nonempty(ba_m.empty(), "m");
+    for (const auto v : ba_m) {
+      if (v < 1) {
+        throw std::invalid_argument("axis m: attachment count must be >= 1");
+      }
+    }
+  }
+  if (needs_exp) {
+    check_nonempty(exponent.empty(), "exp");
+    for (const double v : exponent) {
+      if (v <= 2.0) {
+        throw std::invalid_argument(
+            "axis exp: power-law exponent must be > 2 (finite mean degree), "
+            "got " +
+            util::json_number(v));
+      }
+    }
+    if (pl_deg <= 0.0) {
+      throw std::invalid_argument("pl-deg must be positive, got " +
+                                  util::json_number(pl_deg));
     }
   }
   if (needs_d) {

@@ -45,10 +45,13 @@ std::vector<std::uint64_t> parse_int_axis(std::string_view text,
 /// Graph families the sweep can instantiate. Family parameters:
 ///   gnp        — p (edge probability, or deg: average degree)
 ///   rgg        — radius (unit-disk connection radius)
+///   ba         — m (Barabasi-Albert attachment count per node)
+///   powerlaw   — exp (Chung-Lu power-law exponent, > 2), plus the scalar
+///                --pl-deg knob (target average degree, default 12)
 ///   cliquepath — d (target diameter of the path-of-cliques instance)
 ///   grid       — none (near-square rows x cols grid covering >= n nodes)
-inline constexpr std::array<std::string_view, 4> kFamilyNames{
-    "gnp", "rgg", "cliquepath", "grid"};
+inline constexpr std::array<std::string_view, 6> kFamilyNames{
+    "gnp", "rgg", "ba", "powerlaw", "cliquepath", "grid"};
 
 /// Protocol cores the sweep can drive:
 ///   decay   — Decay-relay broadcast (core::broadcast_batched; BGI rule
@@ -66,6 +69,13 @@ struct SweepSpec {
   std::vector<double> p{12.0};
   bool p_is_degree = true;
   std::vector<double> radius{0.06};
+  /// ba parameter axis: attachment edges per node (`--m=2,4`).
+  std::vector<std::uint32_t> ba_m{2};
+  /// powerlaw parameter axis: Chung-Lu exponents (`--exp=2.2,2.5,3`).
+  std::vector<double> exponent{2.5};
+  /// powerlaw scalar knob: target average degree shared by every exponent
+  /// grid point (`--pl-deg=16`); a knob, not an axis, like lanes/reps.
+  double pl_deg = 12.0;
   std::vector<std::uint32_t> d{64};
   std::vector<std::string> protocols{"decay"};
   std::vector<radio::MediumKind> mediums{radio::MediumKind::kScalar};

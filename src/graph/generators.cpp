@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "graph/algorithms.hpp"
+#include "graph/pargen.hpp"
 
 namespace radiocast::graph {
 
@@ -233,6 +234,16 @@ Graph random_geometric(NodeId n, double radius, util::Rng& rng) {
     }
   }
   return build_connected(b);
+}
+
+Graph barabasi_albert(NodeId n, std::uint32_t m, util::Rng& rng) {
+  // pargen is seed-based; drawing one word from the caller's stream keeps
+  // the Rng& convention of this header without duplicating the generator.
+  return pargen::barabasi_albert(n, m, rng());
+}
+
+Graph chung_lu(NodeId n, double exponent, double avg_deg, util::Rng& rng) {
+  return pargen::chung_lu(n, exponent, avg_deg, rng());
 }
 
 Graph path_of_cliques(NodeId beads, NodeId bead_size) {

@@ -58,6 +58,18 @@ Graph gnp(NodeId n, double p, util::Rng& rng);
 /// This is the canonical "sensor network" topology for radio networks.
 Graph random_geometric(NodeId n, double radius, util::Rng& rng);
 
+/// Barabasi-Albert preferential attachment: each new node attaches `m`
+/// edges to earlier nodes with probability proportional to their degree.
+/// Delegates to graph::pargen (chunked parallel, seed drawn from `rng`);
+/// connectivity repaired by component stitching. Heavy-tailed degrees —
+/// the hub-dominated regime absent from the Gnp/RGG/grid trio.
+Graph barabasi_albert(NodeId n, std::uint32_t m, util::Rng& rng);
+
+/// Chung-Lu power-law random graph: weights w_i ~ (n/(i+1))^(1/(exponent-1))
+/// scaled to expected average degree `avg_deg`; edge (u,v) with probability
+/// min(1, w_u w_v / sum w). Delegates to graph::pargen. exponent > 2.
+Graph chung_lu(NodeId n, double exponent, double avg_deg, util::Rng& rng);
+
 /// Path of cliques ("beads"): `beads` cliques of size `bead_size` strung on
 /// a path, consecutive cliques joined by one edge between representatives.
 /// n = beads * bead_size, D = 3*beads - ... ~ 3*beads. This family realises

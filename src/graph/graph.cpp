@@ -7,6 +7,34 @@
 
 namespace radiocast::graph {
 
+Graph Graph::from_csr(std::vector<std::uint64_t> offsets,
+                      std::vector<NodeId> adjacency) {
+  if (offsets.empty() || offsets.front() != 0) {
+    throw std::invalid_argument(
+        "Graph::from_csr: offsets must be non-empty and start at 0");
+  }
+  if (offsets.back() != adjacency.size()) {
+    throw std::invalid_argument(
+        "Graph::from_csr: offsets.back() must equal adjacency.size()");
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) {
+      throw std::invalid_argument("Graph::from_csr: offsets must be monotone");
+    }
+  }
+  const auto n = static_cast<NodeId>(offsets.size() - 1);
+  for (const NodeId v : adjacency) {
+    if (v >= n) {
+      throw std::invalid_argument(
+          "Graph::from_csr: adjacency id out of range");
+    }
+  }
+  Graph g;
+  g.offsets_ = std::move(offsets);
+  g.adjacency_ = std::move(adjacency);
+  return g;
+}
+
 std::uint32_t Graph::max_degree() const {
   std::uint32_t best = 0;
   for (NodeId v = 0; v < node_count(); ++v) best = std::max(best, degree(v));

@@ -21,6 +21,16 @@ class Graph {
  public:
   Graph() = default;
 
+  /// Adopts already-assembled CSR arrays (offsets size n+1, adjacency size
+  /// 2m with both directions of every edge present and each row sorted,
+  /// deduplicated, and self-loop free — the caller's contract; the parallel
+  /// generators in graph/pargen.* produce exactly this). Validates the
+  /// cheap structural invariants (monotone offsets, matching sizes, ids in
+  /// range) and throws std::invalid_argument on violation; row ordering is
+  /// not re-checked here, it is pinned by the generator tests.
+  static Graph from_csr(std::vector<std::uint64_t> offsets,
+                        std::vector<NodeId> adjacency);
+
   NodeId node_count() const { return static_cast<NodeId>(offsets_.empty() ? 0 : offsets_.size() - 1); }
   std::uint64_t edge_count() const { return adjacency_.size() / 2; }
 

@@ -1,5 +1,8 @@
 #include "sim/instances.hpp"
 
+#include "graph/pargen.hpp"
+#include "util/json.hpp"
+
 namespace radiocast::sim {
 
 Instance make_cliquepath_instance(graph::NodeId n, graph::NodeId d_target) {
@@ -26,6 +29,51 @@ Instance make_rgg_instance(graph::NodeId n, double radius, util::Rng& rng) {
   inst.name = "rgg(n=" + std::to_string(n) +
               ",D=" + std::to_string(inst.diameter) + ")";
   return inst;
+}
+
+namespace {
+
+Instance finish(graph::Graph g, std::string name) {
+  Instance inst;
+  inst.g = std::move(g);
+  inst.diameter = graph::diameter_double_sweep(inst.g);
+  inst.name = std::move(name);
+  return inst;
+}
+
+}  // namespace
+
+Instance make_gnp_instance(graph::NodeId n, double p, std::uint64_t seed,
+                           int gen_threads) {
+  return finish(
+      graph::pargen::gnp(n, p, seed, {.threads = gen_threads}),
+      "gnp(n=" + std::to_string(n) + ",p=" + util::json_number(p) + ")");
+}
+
+Instance make_rgg_instance(graph::NodeId n, double radius, std::uint64_t seed,
+                           int gen_threads) {
+  return finish(graph::pargen::random_geometric(n, radius, seed,
+                                                {.threads = gen_threads}),
+                "rgg(n=" + std::to_string(n) +
+                    ",r=" + util::json_number(radius) + ")");
+}
+
+Instance make_ba_instance(graph::NodeId n, std::uint32_t attach,
+                          std::uint64_t seed, int gen_threads) {
+  return finish(graph::pargen::barabasi_albert(n, attach, seed,
+                                               {.threads = gen_threads}),
+                "ba(n=" + std::to_string(n) +
+                    ",m=" + std::to_string(attach) + ")");
+}
+
+Instance make_powerlaw_instance(graph::NodeId n, double exponent,
+                                double avg_deg, std::uint64_t seed,
+                                int gen_threads) {
+  return finish(graph::pargen::chung_lu(n, exponent, avg_deg, seed,
+                                        {.threads = gen_threads}),
+                "powerlaw(n=" + std::to_string(n) +
+                    ",exp=" + util::json_number(exponent) +
+                    ",deg=" + util::json_number(avg_deg) + ")");
 }
 
 }  // namespace radiocast::sim

@@ -53,6 +53,12 @@ int ScenarioContext::medium_threads() const {
                                   "flag --medium-threads");
 }
 
+int ScenarioContext::gen_threads() const {
+  if (!cli.has("gen-threads")) return 0;
+  return util::parse_positive_int(cli.get_string("gen-threads", ""),
+                                  "flag --gen-threads");
+}
+
 radio::RecoveryStrategy ScenarioContext::recovery_strategy() const {
   return radio::parse_recovery_strategy(cli.get_choice(
       "recovery", "auto",

@@ -341,6 +341,132 @@ TEST(Planner, ExecutionAxesDoNotChangeOutcomes) {
   }
 }
 
+TEST(Planner, InstanceCacheDoesNotChangeReportBytes) {
+  // The cache is a cost optimisation, never an outcome change: with
+  // timing off, the rendered CSV and JSON are byte-identical whether
+  // every lane batch rebuilt its graph or all of them shared one build.
+  const SweepSpec spec = tiny_spec();
+  const auto jobs = expand(spec);
+  sim::Runner runner(2);
+  const auto with_cache = Planner({.cache = true}).run(jobs, runner);
+  const auto without = Planner({.cache = false}).run(jobs, runner);
+
+  const auto render = [&](const std::vector<PointResult>& results) {
+    util::Table table(long_headers(/*timing=*/false));
+    for (const auto& point : results) {
+      add_long_row(table, point_meta(point), point.acc, /*timing=*/false,
+                   &point.gen);
+    }
+    return std::make_pair(table.to_csv(),
+                          sweep_json(spec, results, /*timing=*/false).dump(2));
+  };
+  EXPECT_EQ(render(with_cache), render(without));
+}
+
+TEST(Planner, InstanceCacheHitCounts) {
+  // tiny_spec: 8 jobs over 4 unique instances (gnp/grid x n in {96, 128};
+  // the scalar/bitslice medium pairs share instance coordinates), and
+  // reps=8 with lanes=16 packs each job into ONE task. So in task order:
+  // 4 first-touches (misses), 4 reuses (hits).
+  const SweepSpec spec = tiny_spec();
+  const auto jobs = expand(spec);
+  sim::Runner runner(1);
+  const auto results = Planner({.cache = true}).run(jobs, runner);
+  std::uint64_t hits = 0, misses = 0;
+  for (const auto& point : results) {
+    hits += point.gen.cache_hits;
+    misses += point.gen.cache_misses;
+    // Shared builds report the same generation time on every point.
+    EXPECT_GT(point.gen.gen_ns, 0u) << point.job.label();
+  }
+  EXPECT_EQ(misses, 4u);
+  EXPECT_EQ(hits, 4u);
+
+  // Cache off: every task is its own build — all misses, no hits.
+  const auto uncached = Planner({.cache = false}).run(jobs, runner);
+  for (const auto& point : uncached) {
+    EXPECT_EQ(point.gen.cache_hits, 0u);
+    EXPECT_EQ(point.gen.cache_misses, 1u) << point.job.label();
+  }
+
+  // More batches per job -> the extra batches are hits: reps=8, lanes=2
+  // gives 4 tasks per job, 32 tasks over the same 4 instances.
+  SweepSpec narrow = tiny_spec();
+  narrow.lanes = 2;
+  const auto jobs_batched = expand(narrow);
+  const auto batched = Planner({.cache = true}).run(jobs_batched, runner);
+  std::uint64_t batched_hits = 0, batched_misses = 0;
+  for (const auto& point : batched) {
+    batched_hits += point.gen.cache_hits;
+    batched_misses += point.gen.cache_misses;
+  }
+  EXPECT_EQ(batched_misses, 4u);
+  EXPECT_EQ(batched_hits, 28u);
+}
+
+TEST(Planner, NewFamiliesExpandAndRun) {
+  SweepSpec spec;
+  spec.families = {"ba", "powerlaw"};
+  spec.n = {96};
+  spec.ba_m = {2, 3};
+  spec.exponent = {2.5};
+  spec.pl_deg = 8.0;
+  spec.protocols = {"decay"};
+  spec.mediums = {radio::MediumKind::kScalar};
+  spec.recoveries = {radio::RecoveryStrategy::kAuto};
+  spec.lanes = 8;
+  spec.reps = 8;
+  spec.seed = 5;
+  const auto jobs = expand(spec);
+  // ba sweeps its m axis (2 values), powerlaw its exponent axis (1).
+  ASSERT_EQ(jobs.size(), 3u);
+  EXPECT_EQ(jobs[0].param_name, "m");
+  EXPECT_EQ(jobs[2].param_name, "exp");
+  EXPECT_DOUBLE_EQ(jobs[2].pl_deg, 8.0);
+
+  sim::Runner runner(1);
+  const auto results = Planner().run(jobs, runner);
+  for (const auto& point : results) {
+    EXPECT_EQ(point.n_actual, 96u) << point.job.label();
+    EXPECT_GT(point.acc.successes(), 0u) << point.job.label();
+    EXPECT_GT(point.diameter, 0u) << point.job.label();
+  }
+
+  // The new axes round-trip through the manifest echo like the old ones.
+  const SweepSpec back =
+      SweepSpec::from_json(util::Json::parse(spec.to_json().dump(2)));
+  EXPECT_EQ(back.ba_m, spec.ba_m);
+  EXPECT_EQ(back.exponent, spec.exponent);
+  EXPECT_DOUBLE_EQ(back.pl_deg, spec.pl_deg);
+  const auto jobs_back = expand(back);
+  ASSERT_EQ(jobs_back.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs_back[i].label(), jobs[i].label());
+    EXPECT_EQ(jobs_back[i].instance_seed, jobs[i].instance_seed);
+  }
+}
+
+TEST(SweepSpec, NewFamilyValidation) {
+  {
+    SweepSpec s;
+    s.families = {"powerlaw"};
+    s.exponent = {2.0};  // infinite mean degree
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+  }
+  {
+    SweepSpec s;
+    s.families = {"powerlaw"};
+    s.pl_deg = 0.0;
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+  }
+  {
+    SweepSpec s;
+    s.families = {"ba"};
+    s.ba_m.clear();
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+  }
+}
+
 TEST(Planner, ScalarCoreCollapsesExecutionAxes) {
   SweepSpec spec = tiny_spec();
   spec.families = {"grid"};

@@ -120,6 +120,27 @@ TEST(Generators, RandomGeometricRespectsRadius) {
   EXPECT_EQ(g.edge_count(), 30u * 29 / 2);
 }
 
+TEST(Generators, BarabasiAlbertHubbyAndConnected) {
+  util::Rng rng(17);
+  const Graph g = barabasi_albert(5000, 3, rng);
+  EXPECT_EQ(g.node_count(), 5000u);
+  EXPECT_TRUE(is_connected(g));
+  // ~m edges per arriving node, minus bootstrap self-loops/duplicates.
+  EXPECT_LE(g.edge_count(), 15000u);
+  EXPECT_GT(g.edge_count(), 12000u);
+  // Preferential attachment concentrates degree far above the mean.
+  EXPECT_GT(g.max_degree(), 60u);
+}
+
+TEST(Generators, ChungLuDensityTracksTarget) {
+  util::Rng rng(19);
+  const Graph g = chung_lu(5000, 2.5, 10.0, rng);
+  EXPECT_EQ(g.node_count(), 5000u);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_NEAR(g.average_degree(), 10.0, 2.5);
+  EXPECT_GT(g.max_degree(), 100u);  // heavy tail
+}
+
 TEST(Generators, PathOfCliquesShape) {
   const Graph g = path_of_cliques(5, 4);
   EXPECT_EQ(g.node_count(), 20u);
@@ -205,6 +226,8 @@ TEST_P(GeneratorConnectivity, AllFamiliesConnected) {
   EXPECT_TRUE(is_connected(random_recursive_tree(200, rng)));
   EXPECT_TRUE(is_connected(random_regularish(200, 4, rng)));
   EXPECT_TRUE(is_connected(necklace(5, 40, 4, rng)));
+  EXPECT_TRUE(is_connected(barabasi_albert(200, 2, rng)));
+  EXPECT_TRUE(is_connected(chung_lu(200, 2.5, 8.0, rng)));
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorConnectivity,
