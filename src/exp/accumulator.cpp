@@ -21,6 +21,9 @@ void Accumulator::add_phases(const radio::PhaseTimers& phases) {
   phases_.traverse_ns += phases.traverse_ns;
   phases_.output_ns += phases.output_ns;
   phases_.recover_ns += phases.recover_ns;
+  phases_.enqueue_ns += phases.enqueue_ns;
+  phases_.drain_ns += phases.drain_ns;
+  phases_.active_listeners += phases.active_listeners;
   phases_.rounds += phases.rounds;
   phases_.rowscan_rounds += phases.rowscan_rounds;
   phases_.idplane_rounds += phases.idplane_rounds;

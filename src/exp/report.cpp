@@ -162,6 +162,10 @@ util::Json point_json(const PointMeta& meta, const Accumulator& acc,
     t.set("traverse_ns", static_cast<std::uint64_t>(acc.phases().traverse_ns));
     t.set("output_ns", static_cast<std::uint64_t>(acc.phases().output_ns));
     t.set("recover_ns", static_cast<std::uint64_t>(acc.phases().recover_ns));
+    t.set("enqueue_ns", static_cast<std::uint64_t>(acc.phases().enqueue_ns));
+    t.set("drain_ns", static_cast<std::uint64_t>(acc.phases().drain_ns));
+    t.set("active_listeners",
+          static_cast<std::uint64_t>(acc.phases().active_listeners));
     t.set("rowscan_rounds",
           static_cast<std::uint64_t>(acc.phases().rowscan_rounds));
     t.set("idplane_rounds",

@@ -26,7 +26,10 @@
 namespace radiocast::exp {
 
 /// Schema version stamped into every emitted JSON document.
-inline constexpr int kSchemaVersion = 1;
+/// v2: timing blocks gained the event-driven frontier backend's counters
+/// (enqueue_ns, drain_ns, active_listeners); per-replication rows gained
+/// active_listeners.
+inline constexpr int kSchemaVersion = 2;
 
 class Report {
  public:

@@ -41,6 +41,18 @@ void BatchNetwork::step_lanes_max(std::span<const std::uint64_t> tx_mask,
   }
 }
 
+void BatchNetwork::step_lanes_active(std::span<const ActiveTx> tx,
+                                     PayloadPlanes payload, BatchOutcome& out,
+                                     bool with_senders) {
+  medium_->resolve_batch_active(tx, payload, lanes_, out, with_senders);
+  ++rounds_;
+  for (int l = 0; l < lanes_; ++l) {
+    total_tx_[l] += out.transmitter_count[l];
+    total_delivered_[l] += out.delivered_count[l];
+    total_collided_[l] += out.collided_count[l];
+  }
+}
+
 std::uint64_t BatchNetwork::total_transmissions() const {
   std::uint64_t sum = 0;
   for (int l = 0; l < lanes_; ++l) sum += total_tx_[l];

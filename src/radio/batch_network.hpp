@@ -67,6 +67,11 @@ class BatchNetwork : public LaneExecutor {
                       PayloadPlanes payload, std::span<Payload> best,
                       BatchOutcome& out) override;
 
+  /// Sparse variant (see LaneExecutor): one Medium::resolve_batch_active
+  /// call — the O(active-work) path on the frontier backend.
+  void step_lanes_active(std::span<const ActiveTx> tx, PayloadPlanes payload,
+                         BatchOutcome& out, bool with_senders = true) override;
+
   Round rounds_elapsed() const { return rounds_; }
   const std::array<std::uint64_t, kMaxLanes>& transmissions_by_lane() const {
     return total_tx_;

@@ -57,6 +57,16 @@ class LaneExecutor {
                               PayloadPlanes payload, std::span<Payload> best,
                               BatchOutcome& out) = 0;
 
+  /// Sparse variant: the transmitter set as (node, lane mask) entries
+  /// instead of an n-word dense mask (see Medium::resolve_batch_active).
+  /// Semantics and counters match step_lanes over the equivalent mask;
+  /// protocols with small active sets use it so round cost can follow the
+  /// active work instead of n (the frontier backend's native entry point —
+  /// the others materialise the mask internally).
+  virtual void step_lanes_active(std::span<const ActiveTx> tx,
+                                 PayloadPlanes payload, BatchOutcome& out,
+                                 bool with_senders = true) = 0;
+
   graph::NodeId node_count() const { return topology().node_count(); }
 };
 

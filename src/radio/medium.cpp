@@ -5,6 +5,7 @@
 #include <string>
 
 #include "radio/medium_bitslice.hpp"
+#include "radio/medium_frontier.hpp"
 #include "radio/medium_scalar.hpp"
 #include "radio/medium_sharded.hpp"
 
@@ -68,6 +69,7 @@ void BatchOutcome::clear() {
   transmitter_count.fill(0);
   delivered_count.fill(0);
   collided_count.fill(0);
+  active_listeners = 0;
 }
 
 void Medium::resolve_batch(std::span<const std::uint64_t> tx_mask,
@@ -138,6 +140,63 @@ void Medium::resolve_batch_max(std::span<const std::uint64_t> tx_mask,
   out.deliveries.clear();  // match the backends that never build them
 }
 
+void Medium::resolve_batch_active(std::span<const ActiveTx> tx,
+                                  PayloadPlanes payload, int lanes,
+                                  BatchOutcome& out, bool with_senders) {
+  const graph::NodeId n = graph_->node_count();
+  if (active_dense_.size() != n) active_dense_.assign(n, 0);
+  for (const ActiveTx& e : tx) {
+    if (e.node >= n) {
+      // Un-dirty what this call already wrote before reporting the bad
+      // entry — the scratch must stay all-zero for the next round.
+      for (const ActiveTx& seen : tx) {
+        if (&seen == &e) break;
+        active_dense_[seen.node] = 0;
+      }
+      throw std::invalid_argument(
+          "Medium::resolve_batch_active: transmitter out of range");
+    }
+    active_dense_[e.node] |= e.lanes;
+  }
+  try {
+    resolve_batch(active_dense_, payload, lanes, out, with_senders);
+  } catch (...) {
+    for (const ActiveTx& e : tx) active_dense_[e.node] = 0;
+    throw;
+  }
+  for (const ActiveTx& e : tx) active_dense_[e.node] = 0;
+}
+
+void Medium::resolve_batch_max_active(std::span<const ActiveTx> tx,
+                                      PayloadPlanes payload, int lanes,
+                                      std::span<Payload> best,
+                                      BatchOutcome& out) {
+  const graph::NodeId n = graph_->node_count();
+  if (best.size() < static_cast<std::size_t>(lanes) * n) {
+    throw std::invalid_argument(
+        "Medium::resolve_batch_max_active: best too small");
+  }
+  if (active_dense_.size() != n) active_dense_.assign(n, 0);
+  for (const ActiveTx& e : tx) {
+    if (e.node >= n) {
+      for (const ActiveTx& seen : tx) {
+        if (&seen == &e) break;
+        active_dense_[seen.node] = 0;
+      }
+      throw std::invalid_argument(
+          "Medium::resolve_batch_max_active: transmitter out of range");
+    }
+    active_dense_[e.node] |= e.lanes;
+  }
+  try {
+    resolve_batch_max(active_dense_, payload, lanes, best, out);
+  } catch (...) {
+    for (const ActiveTx& e : tx) active_dense_[e.node] = 0;
+    throw;
+  }
+  for (const ActiveTx& e : tx) active_dense_[e.node] = 0;
+}
+
 std::unique_ptr<Medium> make_medium(MediumKind kind, const graph::Graph& g,
                                     CollisionModel model, int threads,
                                     RecoveryStrategy recovery) {
@@ -151,6 +210,9 @@ std::unique_ptr<Medium> make_medium(MediumKind kind, const graph::Graph& g,
       break;
     case MediumKind::kSharded:
       medium = std::make_unique<ShardedMedium>(g, model, threads);
+      break;
+    case MediumKind::kFrontier:
+      medium = std::make_unique<FrontierMedium>(g, model);
       break;
   }
   if (medium == nullptr) throw std::invalid_argument("make_medium: bad kind");

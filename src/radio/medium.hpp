@@ -3,7 +3,7 @@
 //
 // Medium is the seam between protocol logic and the collision kernel:
 // every round a transmitter set goes in and the successful receptions
-// (plus collision evidence) come out. Three backends implement it:
+// (plus collision evidence) come out. Four backends implement it:
 //
 //   scalar   — epoch-stamped reference kernel; resolve() adaptively picks a
 //              frontier (transmitter-scatter) or dense (full-array) path
@@ -15,6 +15,12 @@
 //   sharded  — thread-pooled kernel that cuts the listener space into
 //              contiguous CSR shards (balanced by the degree prefix sum)
 //              and resolves them in parallel with a deterministic merge
+//   frontier — event-driven propagation-queue kernel (the constraint-solver
+//              watch-list idiom): transmitters enqueue only the listeners
+//              adjacent to them, per-listener state is reset lazily by
+//              round stamps, so a round costs O(active work) — never O(n).
+//              Its native entry point is resolve_batch_active, which takes
+//              the sparse transmitter list directly
 //
 // All backends implement identical interference semantics — the
 // cross-backend differential test (tests/test_medium_backends.cpp) holds
@@ -59,16 +65,23 @@ struct SparseOutcome {
   std::vector<graph::NodeId> collided_nodes;
   std::uint32_t transmitter_count = 0;
   std::uint32_t collided_count = 0;
+  /// Distinct listeners adjacent to >= 1 transmitter this round (the
+  /// "woken" set — transmitters themselves included when a neighbour also
+  /// transmits). A cost diagnostic, NOT part of the semantic outcome:
+  /// backends that don't track it report 0, and differential equality is
+  /// never asserted on it across backends that do.
+  std::uint32_t active_listeners = 0;
 };
 
 /// Which backend resolves interference. kScalar is the reference; the
 /// others trade generality for throughput (see the file comment).
-enum class MediumKind : std::uint8_t { kScalar, kBitslice, kSharded };
+enum class MediumKind : std::uint8_t { kScalar, kBitslice, kSharded,
+                                       kFrontier };
 
 /// Canonical backend names, indexed by MediumKind — the single source of
 /// truth for to_string, parse_medium_kind, and flag validation.
-inline constexpr std::array<std::string_view, 3> kMediumNames{
-    "scalar", "bitslice", "sharded"};
+inline constexpr std::array<std::string_view, 4> kMediumNames{
+    "scalar", "bitslice", "sharded", "frontier"};
 
 std::string_view to_string(MediumKind kind);
 /// Parses a kMediumNames entry; throws std::invalid_argument otherwise
@@ -115,6 +128,15 @@ struct PhaseTimers {
   std::uint64_t traverse_ns = 0;  // plane accumulation / kernel traversal
   std::uint64_t output_ns = 0;    // output scan: masks, tallies, re-zeroing
   std::uint64_t recover_ns = 0;   // sender recovery (row scan or id planes)
+  /// Event-driven phases (the frontier backend): transmitter-scatter wake
+  /// pass and woken-queue drain. Frontier rounds report these instead of
+  /// traverse_ns/output_ns — the backend never runs a full-array pass.
+  std::uint64_t enqueue_ns = 0;
+  std::uint64_t drain_ns = 0;
+  /// Cumulative woken-listener count across rounds (sum of each round's
+  /// SparseOutcome/BatchOutcome active_listeners); 0 on backends that
+  /// don't track the active set.
+  std::uint64_t active_listeners = 0;
   std::uint64_t rounds = 0;       // resolve calls accumulated
   std::uint64_t rowscan_rounds = 0;   // rounds recovered by row scan
   std::uint64_t idplane_rounds = 0;   // rounds recovered from id planes
@@ -193,6 +215,19 @@ class PayloadPlanes {
   int lane_capacity_ = kMaxLanes;
 };
 
+/// One transmitter of a batched round in sparse form: the node plus the
+/// lane set it transmits in. The native input of the event-driven frontier
+/// backend — handing the medium the transmitter list directly lets a round
+/// cost O(sum of active degrees) with no O(n) mask scan. Entries with the
+/// same node are allowed; their lane masks OR together (the payload comes
+/// from the PayloadPlanes view, so there is nothing else to merge).
+struct ActiveTx {
+  graph::NodeId node;
+  std::uint64_t lanes;
+
+  bool operator==(const ActiveTx&) const = default;
+};
+
 /// One successful reception in one lane of a batched round.
 struct BatchDelivery {
   graph::NodeId node;
@@ -236,6 +271,10 @@ struct BatchOutcome {
   std::array<std::uint32_t, kMaxLanes> transmitter_count{};
   std::array<std::uint32_t, kMaxLanes> delivered_count{};
   std::array<std::uint32_t, kMaxLanes> collided_count{};
+  /// Distinct listeners adjacent to >= 1 transmitter in >= 1 lane (see
+  /// SparseOutcome::active_listeners): a cost diagnostic, 0 on backends
+  /// that don't track it, never part of outcome equality.
+  std::uint32_t active_listeners = 0;
 
   void clear();
 };
@@ -304,6 +343,26 @@ class Medium {
                                  PayloadPlanes payload, int lanes,
                                  std::span<Payload> best, BatchOutcome& out);
 
+  /// Sparse batched entry point: the transmitter set arrives as a list of
+  /// (node, lane mask) entries instead of an n-word dense mask, so a
+  /// backend that can exploit sparsity (frontier) resolves the round in
+  /// O(active work) with no per-node scan. Duplicate nodes OR their lane
+  /// masks; entries must satisfy node < node_count (throws otherwise).
+  /// Semantics are identical to resolve_batch over the equivalent dense
+  /// mask — the default implementation materialises that mask into
+  /// lazily-cleared scratch and delegates, so every backend accepts the
+  /// sparse form and differential tests can drive them all through it.
+  virtual void resolve_batch_active(std::span<const ActiveTx> tx,
+                                    PayloadPlanes payload, int lanes,
+                                    BatchOutcome& out,
+                                    bool with_senders = true);
+
+  /// Fold variant of resolve_batch_active (see resolve_batch_max).
+  virtual void resolve_batch_max_active(std::span<const ActiveTx> tx,
+                                        PayloadPlanes payload, int lanes,
+                                        std::span<Payload> best,
+                                        BatchOutcome& out);
+
  protected:
   /// Monotonic nanosecond clock for the phase timers.
   static std::uint64_t now_ns();
@@ -322,6 +381,10 @@ class Medium {
   std::vector<graph::NodeId> agg_touched_;
   std::uint64_t agg_epoch_ = 0;
   SparseOutcome lane_out_;
+  // Dense-mask scratch for the default resolve_batch_active adapter,
+  // cleared sparsely after each call so repeated sparse rounds never pay
+  // an O(n) wipe (the adapter itself still delegates to the dense kernel).
+  std::vector<std::uint64_t> active_dense_;
 };
 
 /// Factory. `threads` only matters for kSharded: the shard/worker count,

@@ -183,8 +183,12 @@ void BitsliceMedium::run_core(std::span<const std::uint64_t> tx_mask,
   if (recover == Recover::kIdsDeferred) ensure_id_capacity();
 
   // Emits one listener's delivered/collision masks; returns the win mask.
+  // Every listener with a nonzero `one` word passes through here exactly
+  // once on each traversal shape, so the call count IS the active set.
+  std::uint32_t active = 0;
   auto emit = [&](const graph::NodeId v, const std::uint64_t one,
                   const std::uint64_t two) -> std::uint64_t {
+    ++active;
     const std::uint64_t not_tx = ~tx_mask[v];
     const std::uint64_t win = one & ~two & not_tx;
     const std::uint64_t coll = two & not_tx & lane_mask;
@@ -306,6 +310,8 @@ void BitsliceMedium::run_core(std::span<const std::uint64_t> tx_mask,
     timers_.output_ns += now_ns() - t1;
   }
 
+  out.active_listeners = active;
+  timers_.active_listeners += active;
   delivered_tally_.extract(out.delivered_count, lanes);
   collided_tally_.extract(out.collided_count, lanes);
   const std::uint64_t t2 = now_ns();
@@ -511,6 +517,7 @@ void BitsliceMedium::resolve(std::span<const graph::NodeId> transmitters,
   out.collided_nodes.clear();
   out.transmitter_count = batch_out_.transmitter_count[0];
   out.collided_count = batch_out_.collided_count[0];
+  out.active_listeners = batch_out_.active_listeners;
   for (const auto& d : batch_out_.deliveries) {
     out.deliveries.push_back({d.node, d.from, d.payload});
   }

@@ -1,0 +1,305 @@
+#include "radio/medium_frontier.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace radiocast::radio {
+
+FrontierMedium::FrontierMedium(const graph::Graph& g, CollisionModel model)
+    : Medium(g, model) {
+  const auto n = g.node_count();
+  one_.assign(n, 0);
+  two_.assign(n, 0);
+  stamp_.assign(n, 0);
+  tx_lanes_.assign(n, 0);
+  tx_stamp_.assign(n, 0);
+  payload1_.assign(n, kNoPayload);
+  facade_stamp_.assign(n, 0);
+}
+
+template <class Sink>
+void FrontierMedium::rowscan_senders(const BatchOutcome& out,
+                                     Sink&& sink) const {
+  // Same clearing row scan as the bitslice backend, except transmitter
+  // membership comes from the round-stamped lane words — the whole point
+  // is that no dense transmit mask exists. Winning listeners' rows are
+  // visited at most once each.
+  for (const auto& dm : out.delivered) {
+    std::uint64_t win = dm.lanes;
+    for (const graph::NodeId u : graph_->neighbors(dm.node)) {
+      if (tx_stamp_[u] != round_) continue;
+      const std::uint64_t hit = win & tx_lanes_[u];
+      if (hit == 0) continue;
+      win &= ~hit;
+      sink(dm.node, u, hit);
+      if (win == 0) break;
+    }
+  }
+}
+
+void FrontierMedium::run_active(std::span<const ActiveTx> tx,
+                                PayloadPlanes payload, int lanes,
+                                BatchOutcome& out, FoldMode mode,
+                                std::span<Payload> best) {
+  const graph::NodeId n = graph_->node_count();
+  if (payload.plane_size() != n) {
+    throw std::invalid_argument("FrontierMedium: size mismatch");
+  }
+  if (lanes < 1 || lanes > kMaxLanes || lanes > payload.lane_capacity()) {
+    throw std::invalid_argument("FrontierMedium: lanes out of range");
+  }
+  const std::uint64_t live = radio::lane_mask(lanes);
+  out.clear();
+  tx_tally_.reset();
+  delivered_tally_.reset();
+  collided_tally_.reset();
+  ++round_;
+  queue_.clear();
+
+  // Constant-plane detection for the max-fold (the bitslice shortcut): a
+  // lane-invariant plane where every transmitter carries one value folds
+  // with no sender identification. Gated on kAuto so a pinned strategy
+  // still exercises its path.
+  bool const_plane = mode == FoldMode::kMaxFold && payload.lane_invariant() &&
+                     recovery_ == RecoveryStrategy::kAuto;
+  Payload const_value = kNoPayload;
+  bool const_seen = false;
+
+  // Enqueue: scatter each transmitter's lanes over its row, waking
+  // first-touched listeners. Lanes a duplicate entry already covered are
+  // masked off before the scatter so tallies and saturation stay exact.
+  const std::uint64_t t0 = now_ns();
+  for (const ActiveTx& e : tx) {
+    const graph::NodeId u = e.node;
+    if (u >= n) {
+      throw std::invalid_argument(
+          "FrontierMedium: transmitter out of range");
+    }
+    std::uint64_t m = e.lanes & live;
+    if (m == 0) continue;
+    if (tx_stamp_[u] != round_) {
+      tx_stamp_[u] = round_;
+      tx_lanes_[u] = 0;
+      if (const_plane) {
+        const Payload p = payload.at(0, u);
+        if (!const_seen) {
+          const_value = p;
+          const_seen = true;
+        } else if (p != const_value) {
+          const_plane = false;
+        }
+      }
+    }
+    m &= ~tx_lanes_[u];
+    if (m == 0) continue;
+    tx_lanes_[u] |= m;
+    tx_tally_.add(m);
+    for (const graph::NodeId v : graph_->neighbors(u)) {
+      if (stamp_[v] != round_) {
+        stamp_[v] = round_;
+        one_[v] = 0;
+        two_[v] = 0;
+        queue_.push_back(v);
+      }
+      two_[v] |= one_[v] & m;
+      one_[v] |= m;
+    }
+  }
+  const std::uint64_t t1 = now_ns();
+  timers_.enqueue_ns += t1 - t0;
+
+  // Drain: every woken listener emits once, in first-touch order. The
+  // half-duplex filter reads the listener's own (stamped) transmit lanes.
+  for (const graph::NodeId v : queue_) {
+    const std::uint64_t not_tx =
+        ~(tx_stamp_[v] == round_ ? tx_lanes_[v] : std::uint64_t{0});
+    const std::uint64_t win = one_[v] & ~two_[v] & not_tx;
+    const std::uint64_t coll = two_[v] & not_tx;
+    if (win != 0) {
+      out.delivered.push_back({v, win});
+      delivered_tally_.add(win);
+    }
+    if (coll != 0) {
+      if (model_ == CollisionModel::kDetection) {
+        out.collisions.push_back({v, coll});
+      }
+      collided_tally_.add(coll);
+    }
+  }
+  out.active_listeners = static_cast<std::uint32_t>(queue_.size());
+  timers_.active_listeners += queue_.size();
+  tx_tally_.extract(out.transmitter_count, lanes);
+  delivered_tally_.extract(out.delivered_count, lanes);
+  collided_tally_.extract(out.collided_count, lanes);
+  timers_.drain_ns += now_ns() - t1;
+
+  if (mode == FoldMode::kMasksOnly) {
+    ++timers_.rounds;
+    return;
+  }
+
+  const std::uint64_t t2 = now_ns();
+  if (mode == FoldMode::kMaxFold && const_plane) {
+    for (const auto& dm : out.delivered) {
+      std::uint64_t hit = dm.lanes;
+      do {
+        const int lane = std::countr_zero(hit);
+        Payload& b = best[static_cast<std::size_t>(lane) * n + dm.node];
+        if (b == kNoPayload || const_value > b) b = const_value;
+        hit &= hit - 1;
+      } while (hit != 0);
+    }
+    ++timers_.constfold_rounds;
+  } else {
+    // Sinks take one (listener, sender, lane mask) group per call; for
+    // lane-invariant planes the sender's payload is read once per group.
+    const bool invariant = payload.lane_invariant();
+    if (mode == FoldMode::kSenders) {
+      rowscan_senders(out, [&](const graph::NodeId v, const graph::NodeId u,
+                               std::uint64_t hit) {
+        if (invariant) {
+          const Payload p = payload.at(0, u);
+          do {
+            const int lane = std::countr_zero(hit);
+            out.deliveries.push_back({v, static_cast<std::uint8_t>(lane), u,
+                                      p});
+            hit &= hit - 1;
+          } while (hit != 0);
+        } else {
+          do {
+            const int lane = std::countr_zero(hit);
+            out.deliveries.push_back(
+                {v, static_cast<std::uint8_t>(lane), u, payload.at(lane, u)});
+            hit &= hit - 1;
+          } while (hit != 0);
+        }
+      });
+    } else {
+      rowscan_senders(out, [&](const graph::NodeId v, const graph::NodeId u,
+                               std::uint64_t hit) {
+        if (invariant) {
+          const Payload p = payload.at(0, u);
+          do {
+            const int lane = std::countr_zero(hit);
+            Payload& b = best[static_cast<std::size_t>(lane) * n + v];
+            if (b == kNoPayload || p > b) b = p;
+            hit &= hit - 1;
+          } while (hit != 0);
+        } else {
+          do {
+            const int lane = std::countr_zero(hit);
+            Payload& b = best[static_cast<std::size_t>(lane) * n + v];
+            const Payload p = payload.at(lane, u);
+            if (b == kNoPayload || p > b) b = p;
+            hit &= hit - 1;
+          } while (hit != 0);
+        }
+      });
+    }
+    ++timers_.rowscan_rounds;
+  }
+  timers_.recover_ns += now_ns() - t2;
+  ++timers_.rounds;
+}
+
+void FrontierMedium::resolve_batch_active(std::span<const ActiveTx> tx,
+                                          PayloadPlanes payload, int lanes,
+                                          BatchOutcome& out,
+                                          bool with_senders) {
+  run_active(tx, payload, lanes, out,
+             with_senders ? FoldMode::kSenders : FoldMode::kMasksOnly, {});
+}
+
+void FrontierMedium::resolve_batch_max_active(std::span<const ActiveTx> tx,
+                                              PayloadPlanes payload, int lanes,
+                                              std::span<Payload> best,
+                                              BatchOutcome& out) {
+  if (best.size() <
+      static_cast<std::size_t>(lanes) * graph_->node_count()) {
+    throw std::invalid_argument(
+        "FrontierMedium::resolve_batch_max_active: best too small");
+  }
+  run_active(tx, payload, lanes, out, FoldMode::kMaxFold, best);
+}
+
+void FrontierMedium::resolve_batch(std::span<const std::uint64_t> tx_mask,
+                                   PayloadPlanes payload, int lanes,
+                                   BatchOutcome& out, bool with_senders) {
+  const graph::NodeId n = graph_->node_count();
+  if (tx_mask.size() != n) {
+    throw std::invalid_argument("FrontierMedium: size mismatch");
+  }
+  if (lanes < 1 || lanes > kMaxLanes) {
+    throw std::invalid_argument("FrontierMedium: lanes out of range");
+  }
+  const std::uint64_t live = radio::lane_mask(lanes);
+  active_.clear();
+  for (graph::NodeId v = 0; v < n; ++v) {
+    const std::uint64_t m = tx_mask[v] & live;
+    if (m != 0) active_.push_back({v, m});
+  }
+  resolve_batch_active(active_, payload, lanes, out, with_senders);
+}
+
+void FrontierMedium::resolve_batch_max(std::span<const std::uint64_t> tx_mask,
+                                       PayloadPlanes payload, int lanes,
+                                       std::span<Payload> best,
+                                       BatchOutcome& out) {
+  const graph::NodeId n = graph_->node_count();
+  if (tx_mask.size() != n) {
+    throw std::invalid_argument("FrontierMedium: size mismatch");
+  }
+  if (lanes < 1 || lanes > kMaxLanes) {
+    throw std::invalid_argument("FrontierMedium: lanes out of range");
+  }
+  const std::uint64_t live = radio::lane_mask(lanes);
+  active_.clear();
+  for (graph::NodeId v = 0; v < n; ++v) {
+    const std::uint64_t m = tx_mask[v] & live;
+    if (m != 0) active_.push_back({v, m});
+  }
+  resolve_batch_max_active(active_, payload, lanes, best, out);
+}
+
+void FrontierMedium::resolve(std::span<const graph::NodeId> transmitters,
+                             std::span<const Payload> tx_payload,
+                             SparseOutcome& out) {
+  if (transmitters.size() != tx_payload.size()) {
+    throw std::invalid_argument("FrontierMedium::resolve: size mismatch");
+  }
+  const graph::NodeId n = graph_->node_count();
+  // Materialise the per-node payload plane the kernel reads from; the
+  // facade stamp deduplicates (first payload wins) without an O(n) clear.
+  ++facade_round_;
+  active_.clear();
+  for (std::size_t i = 0; i < transmitters.size(); ++i) {
+    const graph::NodeId u = transmitters[i];
+    if (u >= n) {
+      throw std::invalid_argument(
+          "FrontierMedium::resolve: transmitter out of range");
+    }
+    if (facade_stamp_[u] == facade_round_) continue;
+    facade_stamp_[u] = facade_round_;
+    payload1_[u] = tx_payload[i];
+    active_.push_back({u, 1});
+  }
+  run_active(active_, std::span<const Payload>(payload1_), 1, batch_out_,
+             FoldMode::kSenders, {});
+
+  out.deliveries.clear();
+  out.collided_nodes.clear();
+  out.transmitter_count = batch_out_.transmitter_count[0];
+  out.collided_count = batch_out_.collided_count[0];
+  out.active_listeners = batch_out_.active_listeners;
+  // One lane: each winning listener has exactly one sender group, and the
+  // rowscan visits delivered listeners in queue (= first-touch) order, so
+  // this matches the scalar reference's delivery order byte for byte.
+  for (const auto& d : batch_out_.deliveries) {
+    out.deliveries.push_back({d.node, d.from, d.payload});
+  }
+  for (const auto& c : batch_out_.collisions) {
+    out.collided_nodes.push_back(c.node);
+  }
+}
+
+}  // namespace radiocast::radio

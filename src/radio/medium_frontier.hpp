@@ -1,0 +1,118 @@
+// Event-driven frontier backend: resolves a round in O(active work) by
+// propagating transmissions through a wake queue instead of scanning the
+// listener space.
+//
+// The idiom is the constraint-solver propagator/watch-list engine: nothing
+// runs unless something it watches changed. Here the "change" is a
+// neighbour transmitting, so the kernel has two phases:
+//
+//   enqueue — for each transmitter u (deduplicated by a round stamp), walk
+//             u's CSR row once; each neighbour v is woken on first touch
+//             (stamped, its per-listener ">=1 tx" / ">=2 tx" lane words
+//             zeroed, pushed on the queue) and its saturation words are
+//             updated with the same bitwise saturating add the bitslice
+//             kernel uses (two |= one & m; one |= m). The wake entry
+//             carries a lane mask implicitly: one_[v] accumulates exactly
+//             the lanes in which some neighbour transmits, so the round
+//             composes with 64-lane batching at no extra cost.
+//   drain   — pop each woken listener once, in first-touch order, and emit
+//             its delivered/collided lane masks from the two words. Only
+//             queue.size() == |active listeners| entries are visited.
+//
+// All per-node state (stamps, lane words) is allocated once and reset
+// lazily via round-stamp versioning — no O(n) clear ever runs, so a tail
+// round with 3 transmitters costs ~3 row walks + 3 queue pops even at
+// n = 10^6. Sender recovery is a row scan over winning listeners only
+// (their rows are output-sized by definition of the active set); the
+// RecoveryStrategy knob is accepted but does not change the path — like
+// scalar/sharded, outcomes are identical under every strategy.
+//
+// The native entry point is resolve_batch_active (sparse transmitter
+// list); the dense resolve_batch/_max adapters pay one O(n) word scan to
+// recover the list and are provided for interface parity, and resolve()
+// routes the single-instance facade through the same kernel with one lane.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "radio/lane_counter.hpp"
+#include "radio/medium.hpp"
+
+namespace radiocast::radio {
+
+class FrontierMedium final : public Medium {
+ public:
+  FrontierMedium(const graph::Graph& g, CollisionModel model);
+
+  std::string_view name() const override { return "frontier"; }
+
+  /// Single-instance rounds run through the event-driven kernel with one
+  /// lane; deliveries come out in the scalar reference's first-touch order.
+  void resolve(std::span<const graph::NodeId> transmitters,
+               std::span<const Payload> tx_payload,
+               SparseOutcome& out) override;
+
+  /// Dense-mask adapters: one O(n) word scan recovers the sparse list,
+  /// then the kernel runs as usual. Callers that already hold the sparse
+  /// transmitter set should use resolve_batch_active instead.
+  void resolve_batch(std::span<const std::uint64_t> tx_mask,
+                     PayloadPlanes payload, int lanes, BatchOutcome& out,
+                     bool with_senders = true) override;
+  void resolve_batch_max(std::span<const std::uint64_t> tx_mask,
+                         PayloadPlanes payload, int lanes,
+                         std::span<Payload> best, BatchOutcome& out) override;
+
+  /// The native O(active-work) entry points.
+  void resolve_batch_active(std::span<const ActiveTx> tx,
+                            PayloadPlanes payload, int lanes, BatchOutcome& out,
+                            bool with_senders = true) override;
+  void resolve_batch_max_active(std::span<const ActiveTx> tx,
+                                PayloadPlanes payload, int lanes,
+                                std::span<Payload> best,
+                                BatchOutcome& out) override;
+
+ private:
+  /// What the kernel does with each recovered delivery (mirrors the
+  /// bitslice FoldMode).
+  enum class FoldMode : std::uint8_t { kMasksOnly, kSenders, kMaxFold };
+
+  void run_active(std::span<const ActiveTx> tx, PayloadPlanes payload,
+                  int lanes, BatchOutcome& out, FoldMode mode,
+                  std::span<Payload> best);
+  /// Row scan over winning listeners; transmitter membership is tested
+  /// against the round-stamped tx lane words (no dense mask exists). Sink:
+  /// (listener, sender, lane mask), one call per sender group.
+  template <class Sink>
+  void rowscan_senders(const BatchOutcome& out, Sink&& sink) const;
+
+  // Per-listener saturation words, valid iff stamp_ == round_: one_ is the
+  // ">=1 transmitting neighbour" lane set, two_ the ">=2" lane set.
+  std::vector<std::uint64_t> one_;
+  std::vector<std::uint64_t> two_;
+  std::vector<std::uint64_t> stamp_;
+  // Per-transmitter lane words, valid iff tx_stamp_ == round_: which lanes
+  // the node transmits in (deduplicated union across ActiveTx entries) —
+  // the half-duplex filter and the rowscan membership test read these.
+  std::vector<std::uint64_t> tx_lanes_;
+  std::vector<std::uint64_t> tx_stamp_;
+  // Woken listeners in first-touch order; drained once per round.
+  std::vector<graph::NodeId> queue_;
+  std::uint64_t round_ = 0;
+
+  LaneCounter tx_tally_;
+  LaneCounter delivered_tally_;
+  LaneCounter collided_tally_;
+
+  // Scratch for the dense adapters (sparse list recovered per round) and
+  // the resolve() facade (per-node payload plane + its own dedup stamps,
+  // kept separate from the kernel's round stamps).
+  std::vector<ActiveTx> active_;
+  std::vector<Payload> payload1_;
+  std::vector<std::uint64_t> facade_stamp_;
+  std::uint64_t facade_round_ = 0;
+  BatchOutcome batch_out_;
+};
+
+}  // namespace radiocast::radio

@@ -26,6 +26,7 @@ void ScalarMedium::resolve(std::span<const graph::NodeId> transmitters,
   out.collided_nodes.clear();
   out.transmitter_count = 0;
   out.collided_count = 0;
+  out.active_listeners = 0;
 
   ++epoch_;
   txlist_.clear();
@@ -52,6 +53,7 @@ void ScalarMedium::resolve(std::span<const graph::NodeId> transmitters,
   // accounts for its own output sweep.
   timers_.traverse_ns += output_start_ns_ - t0;
   timers_.output_ns += now_ns() - output_start_ns_;
+  timers_.active_listeners += out.active_listeners;
   ++timers_.rounds;
 }
 
@@ -71,6 +73,7 @@ void ScalarMedium::resolve_frontier(SparseOutcome& out) {
     }
   }
   output_start_ns_ = now_ns();
+  out.active_listeners = static_cast<std::uint32_t>(touched_.size());
   for (const graph::NodeId v : touched_) {
     if (tx_stamp_[v] == epoch_) continue;  // half-duplex
     if (tx_count_[v] == 1) {
@@ -103,6 +106,9 @@ void ScalarMedium::resolve_dense(SparseOutcome& out) {
     }
   }
   for (graph::NodeId v = 0; v < n; ++v) {
+    // Same "woken" definition as the frontier path: any node with >= 1
+    // transmitting neighbour, transmitters included.
+    if (dense_count_[v] != 0) ++out.active_listeners;
     if (dense_count_[v] >= 2 && tx_stamp_[v] != epoch_) {
       ++out.collided_count;
       if (model_ == CollisionModel::kDetection) {

@@ -168,6 +168,10 @@ void ShardedMedium::resolve(std::span<const graph::NodeId> transmitters,
   out.collided_nodes.clear();
   out.transmitter_count = 0;
   out.collided_count = 0;
+  // Not tracked: the dense gather early-exits rows and skips transmitting
+  // listeners, so the woken-set size the other backends report is not
+  // available without extra work per shard.
+  out.active_listeners = 0;
 
   const std::uint64_t t0 = now_ns();
   ++epoch_;

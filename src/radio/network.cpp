@@ -84,11 +84,39 @@ void Network::step_lanes(std::span<const std::uint64_t> tx_mask,
     }
   }
   resolve(tx_nodes_, tx_payload_, sparse_scratch_);
+  emit_batch(out, with_senders);
+}
+
+void Network::step_lanes_active(std::span<const ActiveTx> tx,
+                                PayloadPlanes payload, BatchOutcome& out,
+                                bool with_senders) {
+  const graph::NodeId n = graph_->node_count();
+  if (payload.plane_size() != n || payload.lane_capacity() < 1) {
+    throw std::invalid_argument("Network::step_lanes_active: size mismatch");
+  }
+  tx_nodes_.clear();
+  tx_payload_.clear();
+  for (const ActiveTx& e : tx) {
+    if (e.node >= n) {
+      throw std::invalid_argument(
+          "Network::step_lanes_active: transmitter out of range");
+    }
+    if (e.lanes & 1) {
+      tx_nodes_.push_back(e.node);
+      tx_payload_.push_back(payload.at(0, e.node));
+    }
+  }
+  resolve(tx_nodes_, tx_payload_, sparse_scratch_);
+  emit_batch(out, with_senders);
+}
+
+void Network::emit_batch(BatchOutcome& out, bool with_senders) {
   out.clear();
   out.transmitter_count[0] = sparse_scratch_.transmitter_count;
   out.delivered_count[0] =
       static_cast<std::uint32_t>(sparse_scratch_.deliveries.size());
   out.collided_count[0] = sparse_scratch_.collided_count;
+  out.active_listeners = sparse_scratch_.active_listeners;
   for (const auto& d : sparse_scratch_.deliveries) {
     out.delivered.push_back({d.node, 1});
     if (with_senders) out.deliveries.push_back({d.node, 0, d.from, d.payload});

@@ -108,6 +108,11 @@ class Network : public LaneExecutor {
                       PayloadPlanes payload, std::span<Payload> best,
                       BatchOutcome& out) override;
 
+  /// Sparse variant (see LaneExecutor): entries with lane bit 0 set form
+  /// the round's transmitter list.
+  void step_lanes_active(std::span<const ActiveTx> tx, PayloadPlanes payload,
+                         BatchOutcome& out, bool with_senders = true) override;
+
   Round rounds_elapsed() const { return rounds_; }
   std::uint64_t total_transmissions() const { return total_tx_; }
   std::uint64_t total_deliveries() const { return total_delivered_; }
@@ -115,6 +120,9 @@ class Network : public LaneExecutor {
   void reset_counters();
 
  private:
+  /// Converts the round in sparse_scratch_ to batch form (single lane).
+  void emit_batch(BatchOutcome& out, bool with_senders);
+
   const graph::Graph* graph_;
   CollisionModel model_;
   MediumKind kind_;

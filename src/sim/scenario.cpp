@@ -103,6 +103,7 @@ std::string ScenarioContext::write_json(const std::string& scenario_name,
     row.set("phase_traverse_ns", r.phase_traverse_ns);
     row.set("phase_output_ns", r.phase_output_ns);
     row.set("phase_recover_ns", r.phase_recover_ns);
+    row.set("active_listeners", r.active_listeners);
     replications.push_back(std::move(row));
   }
   payload.set("replications", std::move(replications));

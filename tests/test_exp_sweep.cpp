@@ -512,6 +512,28 @@ TEST(Report, JsonCarriesSchemaVersionFirst) {
   EXPECT_TRUE(quiet.str().empty());
 }
 
+// Schema v2: timed points must carry the event-driven frontier backend's
+// counters (zero on other backends, but always present, so consumers
+// never probe for optional keys); untimed points stay timing-free.
+TEST(Report, TimingBlockCarriesFrontierCounters) {
+  EXPECT_EQ(kSchemaVersion, 2);
+  PointMeta meta;
+  meta.family = "gnp";
+  Accumulator acc;
+  radio::PhaseTimers phases;
+  phases.enqueue_ns = 7;
+  phases.drain_ns = 9;
+  phases.active_listeners = 11;
+  acc.add_phases(phases);
+  const util::Json j = point_json(meta, acc, /*timing=*/true);
+  const util::Json* t = j.find("timing");
+  ASSERT_NE(t, nullptr);
+  EXPECT_DOUBLE_EQ(t->find("enqueue_ns")->as_number(), 7.0);
+  EXPECT_DOUBLE_EQ(t->find("drain_ns")->as_number(), 9.0);
+  EXPECT_DOUBLE_EQ(t->find("active_listeners")->as_number(), 11.0);
+  EXPECT_EQ(point_json(meta, acc, /*timing=*/false).find("timing"), nullptr);
+}
+
 TEST(Report, DriverFallbackRespectsScenarioOwnedFiles) {
   const std::string dir = ::testing::TempDir() + "radiocast_ctx_json_test";
   util::Cli cli(0, nullptr);

@@ -1,0 +1,448 @@
+// Differential tests for the event-driven frontier backend: the wake-queue
+// kernel must be byte-identical to the scalar reference (and agree with
+// bitslice/sharded) on deliveries, delivered masks, best[] planes, and
+// tallies — across both collision models, 1/7/64 lanes, and both dense
+// rounds and the sparse-tail rounds the backend exists for. Also covered:
+// the lazy round-stamp reset (no O(n) clear means stale state is a real
+// hazard), the sparse resolve_batch_active entry point's default dense
+// adapter on every backend, and the active_listeners cost diagnostic.
+#include "radio/medium_frontier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "graph/generators.hpp"
+#include "radio/batch_network.hpp"
+#include "radio/medium.hpp"
+#include "radio/network.hpp"
+#include "util/rng.hpp"
+
+namespace radiocast::radio {
+namespace {
+
+using graph::Graph;
+using graph::NodeId;
+
+constexpr MediumKind kAllKinds[] = {MediumKind::kScalar,
+                                    MediumKind::kBitslice,
+                                    MediumKind::kSharded,
+                                    MediumKind::kFrontier};
+
+std::vector<BatchDelivery> sorted(std::vector<BatchDelivery> v) {
+  std::sort(v.begin(), v.end(),
+            [](const BatchDelivery& a, const BatchDelivery& b) {
+              return std::tie(a.node, a.lane, a.from) <
+                     std::tie(b.node, b.lane, b.from);
+            });
+  return v;
+}
+
+std::vector<std::uint64_t> delivered_masks(const BatchOutcome& o, NodeId n) {
+  std::vector<std::uint64_t> m(n, 0);
+  for (const auto& d : o.delivered) m[d.node] |= d.lanes;
+  return m;
+}
+
+std::vector<std::uint64_t> collision_masks(const BatchOutcome& o, NodeId n) {
+  std::vector<std::uint64_t> m(n, 0);
+  for (const auto& c : o.collisions) m[c.node] |= c.lanes;
+  return m;
+}
+
+/// Builds a transmit-mask round: `density` per (node, lane), restricted to
+/// the first `sources` nodes when sources < n (the sparse-tail shape).
+std::vector<std::uint64_t> make_round(NodeId n, int lanes, double density,
+                                      NodeId sources, util::Rng& rng) {
+  std::vector<std::uint64_t> tx_mask(n, 0);
+  for (NodeId v = 0; v < std::min(sources, n); ++v) {
+    for (int l = 0; l < lanes; ++l) {
+      if (rng.bernoulli(density)) tx_mask[v] |= std::uint64_t{1} << l;
+    }
+  }
+  return tx_mask;
+}
+
+/// Runs one dense-mask round on `kind` and checks every observable against
+/// the scalar reference outcome.
+void check_against_scalar(const Graph& g, CollisionModel model, int lanes,
+                          std::span<const std::uint64_t> tx_mask,
+                          std::span<const Payload> planes,
+                          const BatchOutcome& want,
+                          std::span<const Payload> want_best,
+                          MediumKind kind) {
+  const NodeId n = g.node_count();
+  const PayloadPlanes payload = PayloadPlanes::lane_major(planes, n);
+  auto medium = make_medium(kind, g, model, /*threads=*/3);
+  BatchOutcome got;
+  medium->resolve_batch(tx_mask, payload, lanes, got);
+  const std::string ctx = std::string(to_string(kind)) +
+                          " lanes=" + std::to_string(lanes) +
+                          " model=" + std::to_string(static_cast<int>(model));
+  EXPECT_EQ(got.transmitter_count, want.transmitter_count) << ctx;
+  EXPECT_EQ(got.delivered_count, want.delivered_count) << ctx;
+  EXPECT_EQ(got.collided_count, want.collided_count) << ctx;
+  EXPECT_EQ(sorted(got.deliveries), sorted(want.deliveries)) << ctx;
+  EXPECT_EQ(delivered_masks(got, n), delivered_masks(want, n)) << ctx;
+  EXPECT_EQ(collision_masks(got, n), collision_masks(want, n)) << ctx;
+  if (model == CollisionModel::kNoDetection) {
+    EXPECT_TRUE(got.collisions.empty()) << ctx;
+  }
+
+  std::vector<Payload> got_best(static_cast<std::size_t>(lanes) * n,
+                                kNoPayload);
+  BatchOutcome fold_out;
+  medium->resolve_batch_max(tx_mask, payload, lanes, got_best, fold_out);
+  EXPECT_EQ(got_best, std::vector<Payload>(want_best.begin(), want_best.end()))
+      << ctx;  // byte-identical planes
+  EXPECT_EQ(delivered_masks(fold_out, n), delivered_masks(want, n)) << ctx;
+}
+
+// Tentpole differential: dense rounds (every node may transmit) and
+// sparse-tail rounds (a handful of sources in a large quiet graph) across
+// both collision models and 1/7/64 lanes, on GnP and cluster topologies.
+TEST(MediumFrontier, DifferentialAgainstAllBackends) {
+  util::Rng rng(91);
+  const Graph gnp = graph::gnp(140, 0.06, rng);
+  const Graph cliques = graph::path_of_cliques(8, 7);
+  for (const Graph* g : {&gnp, &cliques}) {
+    const NodeId n = g->node_count();
+    for (const CollisionModel model :
+         {CollisionModel::kNoDetection, CollisionModel::kDetection}) {
+      for (const int lanes : {1, 7, 64}) {
+        // Dense round + sparse-tail round (4 sources, low lane density).
+        for (const bool sparse : {false, true}) {
+          const std::vector<std::uint64_t> tx_mask =
+              sparse ? make_round(n, lanes, 0.5, 4, rng)
+                     : make_round(n, lanes, 0.25, n, rng);
+          std::vector<Payload> planes(static_cast<std::size_t>(lanes) * n);
+          for (int l = 0; l < lanes; ++l) {
+            for (NodeId v = 0; v < n; ++v) {
+              planes[static_cast<std::size_t>(l) * n + v] =
+                  5'000 * static_cast<Payload>(l + 1) + v;
+            }
+          }
+          auto scalar = make_medium(MediumKind::kScalar, *g, model);
+          BatchOutcome want;
+          scalar->resolve_batch(
+              tx_mask, PayloadPlanes::lane_major(planes, n), lanes, want);
+          std::vector<Payload> want_best(static_cast<std::size_t>(lanes) * n,
+                                         kNoPayload);
+          BatchOutcome want_fold;
+          scalar->resolve_batch_max(tx_mask,
+                                    PayloadPlanes::lane_major(planes, n),
+                                    lanes, want_best, want_fold);
+          for (const MediumKind kind : {MediumKind::kFrontier,
+                                        MediumKind::kBitslice,
+                                        MediumKind::kSharded}) {
+            check_against_scalar(*g, model, lanes, tx_mask, planes, want,
+                                 want_best, kind);
+          }
+        }
+      }
+    }
+  }
+}
+
+// The single-instance facade must match scalar byte-for-byte — including
+// delivery ORDER: the frontier queue records listeners in first-touch
+// order, exactly the order the scalar reference appends them.
+TEST(MediumFrontier, ResolveMatchesScalarByteForByte) {
+  util::Rng rng(92);
+  const Graph g = graph::gnp(120, 0.07, rng);
+  const NodeId n = g.node_count();
+  for (const CollisionModel model :
+       {CollisionModel::kNoDetection, CollisionModel::kDetection}) {
+    Network ref(g, model, MediumKind::kScalar);
+    Network frontier(g, model, MediumKind::kFrontier);
+    for (const double density : {0.02, 0.3, 0.8}) {
+      std::vector<NodeId> tx;
+      std::vector<Payload> pay;
+      for (NodeId v = 0; v < n; ++v) {
+        if (rng.bernoulli(density)) {
+          tx.push_back(v);
+          pay.push_back(3000 + v);
+        }
+      }
+      SparseOutcome want, got;
+      ref.resolve(tx, pay, want);
+      frontier.resolve(tx, pay, got);
+      EXPECT_EQ(got.deliveries, want.deliveries);  // order included
+      EXPECT_EQ(got.transmitter_count, want.transmitter_count);
+      EXPECT_EQ(got.collided_count, want.collided_count);
+      std::vector<NodeId> got_coll = got.collided_nodes;
+      std::vector<NodeId> want_coll = want.collided_nodes;
+      std::sort(got_coll.begin(), got_coll.end());
+      std::sort(want_coll.begin(), want_coll.end());
+      EXPECT_EQ(got_coll, want_coll);
+    }
+  }
+}
+
+// Lazy-reset regression: with no O(n) clear, state from round r must not
+// leak into round r+1. Disjoint transmitter sets (every stamp miss takes
+// the wake path) followed by overlapping sets (stamp hits must dedup but
+// not resurrect the previous round's lanes).
+TEST(MediumFrontier, LazyResetAcrossRounds) {
+  util::Rng rng(93);
+  const Graph g = graph::gnp(100, 0.08, rng);
+  const NodeId n = g.node_count();
+  for (const CollisionModel model :
+       {CollisionModel::kNoDetection, CollisionModel::kDetection}) {
+    // A fresh scalar medium per round is the stateless reference; one
+    // long-lived frontier medium accumulates any reset bug.
+    auto frontier = make_medium(MediumKind::kFrontier, g, model);
+    std::vector<Payload> planes(n);
+    for (NodeId v = 0; v < n; ++v) planes[v] = 100 + v;
+    auto run_round = [&](const std::vector<std::uint64_t>& tx_mask) {
+      auto scalar = make_medium(MediumKind::kScalar, g, model);
+      BatchOutcome want, got;
+      scalar->resolve_batch(tx_mask, planes, 64, want);
+      frontier->resolve_batch(tx_mask, planes, 64, got);
+      EXPECT_EQ(sorted(got.deliveries), sorted(want.deliveries));
+      EXPECT_EQ(delivered_masks(got, n), delivered_masks(want, n));
+      EXPECT_EQ(collision_masks(got, n), collision_masks(want, n));
+      EXPECT_EQ(got.delivered_count, want.delivered_count);
+      EXPECT_EQ(got.collided_count, want.collided_count);
+    };
+    // Phase 1: disjoint halves alternate (nothing stamped twice in a row).
+    for (int round = 0; round < 4; ++round) {
+      std::vector<std::uint64_t> tx_mask(n, 0);
+      for (NodeId v = (round % 2 == 0) ? 0 : n / 2;
+           v < ((round % 2 == 0) ? n / 2 : n); ++v) {
+        if (rng.bernoulli(0.3)) tx_mask[v] = rng();
+      }
+      run_round(tx_mask);
+    }
+    // Phase 2: heavily overlapping sets with round-varying lane masks —
+    // a stale tx_lanes_ or one_/two_ word changes the outcome.
+    std::vector<std::uint64_t> base = make_round(n, 64, 0.4, n, rng);
+    for (int round = 0; round < 4; ++round) {
+      std::vector<std::uint64_t> tx_mask = base;
+      for (NodeId v = 0; v < n; ++v) {
+        if (rng.bernoulli(0.5)) tx_mask[v] = rng() & base[v];
+      }
+      run_round(tx_mask);
+    }
+  }
+}
+
+// The sparse entry point must agree with the dense one on every backend
+// (frontier runs it natively; the other three go through the default
+// dense-materialization adapter) — including duplicate entries, whose lane
+// masks OR together.
+TEST(MediumFrontier, ResolveBatchActiveMatchesDenseOnAllBackends) {
+  util::Rng rng(94);
+  const Graph g = graph::gnp(110, 0.07, rng);
+  const NodeId n = g.node_count();
+  const int lanes = 64;
+  std::vector<Payload> planes(n);
+  for (NodeId v = 0; v < n; ++v) planes[v] = 700 + v;
+  for (const CollisionModel model :
+       {CollisionModel::kNoDetection, CollisionModel::kDetection}) {
+    std::vector<std::uint64_t> tx_mask = make_round(n, lanes, 0.1, n, rng);
+    // Sparse view, with each transmitter's mask split across duplicate
+    // entries to exercise the OR semantics.
+    std::vector<ActiveTx> entries;
+    for (NodeId v = 0; v < n; ++v) {
+      if (tx_mask[v] == 0) continue;
+      const std::uint64_t half = tx_mask[v] & rng();
+      if (half != 0 && half != tx_mask[v]) {
+        entries.push_back({v, half});
+        entries.push_back({v, tx_mask[v] & ~half});
+        entries.push_back({v, half});  // full duplicate, must be idempotent
+      } else {
+        entries.push_back({v, tx_mask[v]});
+      }
+    }
+    for (const MediumKind kind : kAllKinds) {
+      auto medium = make_medium(kind, g, model, 3);
+      BatchOutcome want, got;
+      medium->resolve_batch(tx_mask, planes, lanes, want);
+      medium->resolve_batch_active(entries, planes, lanes, got);
+      const std::string ctx(to_string(kind));
+      EXPECT_EQ(got.transmitter_count, want.transmitter_count) << ctx;
+      EXPECT_EQ(got.delivered_count, want.delivered_count) << ctx;
+      EXPECT_EQ(got.collided_count, want.collided_count) << ctx;
+      EXPECT_EQ(sorted(got.deliveries), sorted(want.deliveries)) << ctx;
+      EXPECT_EQ(delivered_masks(got, n), delivered_masks(want, n)) << ctx;
+      EXPECT_EQ(collision_masks(got, n), collision_masks(want, n)) << ctx;
+
+      // Max-fold through the sparse entry point.
+      std::vector<Payload> want_best(static_cast<std::size_t>(lanes) * n,
+                                     kNoPayload);
+      std::vector<Payload> got_best(static_cast<std::size_t>(lanes) * n,
+                                    kNoPayload);
+      BatchOutcome fold_want, fold_got;
+      medium->resolve_batch_max(tx_mask, planes, lanes, want_best, fold_want);
+      medium->resolve_batch_max_active(entries, planes, lanes, got_best,
+                                       fold_got);
+      EXPECT_EQ(got_best, want_best) << ctx;
+
+      // Out-of-range nodes must throw on every backend, and the medium
+      // must stay usable afterwards (scratch not left dirty).
+      const std::vector<ActiveTx> bad{{n, 1}};
+      BatchOutcome bad_out;
+      EXPECT_THROW(
+          medium->resolve_batch_active(bad, planes, lanes, bad_out),
+          std::invalid_argument)
+          << ctx;
+      BatchOutcome after;
+      medium->resolve_batch_active(entries, planes, lanes, after);
+      EXPECT_EQ(delivered_masks(after, n), delivered_masks(want, n)) << ctx;
+    }
+  }
+}
+
+// LaneExecutor wiring: BatchNetwork::step_lanes_active must hit the native
+// frontier kernel and produce the same outcome as the dense step().
+TEST(MediumFrontier, BatchNetworkStepLanesActive) {
+  util::Rng rng(95);
+  const Graph g = graph::gnp(90, 0.08, rng);
+  const NodeId n = g.node_count();
+  const int lanes = 64;
+  std::vector<std::uint64_t> tx_mask = make_round(n, lanes, 0.15, n, rng);
+  std::vector<Payload> payload(n);
+  for (NodeId v = 0; v < n; ++v) payload[v] = v;
+  std::vector<ActiveTx> entries;
+  for (NodeId v = 0; v < n; ++v) {
+    if (tx_mask[v] != 0) entries.push_back({v, tx_mask[v]});
+  }
+  for (const MediumKind kind : kAllKinds) {
+    BatchNetwork dense(g, lanes, CollisionModel::kDetection, kind);
+    BatchNetwork active(g, lanes, CollisionModel::kDetection, kind);
+    BatchOutcome want, got;
+    dense.step(tx_mask, payload, want);
+    active.step_lanes_active(entries, payload, got);
+    const std::string ctx(to_string(kind));
+    EXPECT_EQ(sorted(got.deliveries), sorted(want.deliveries)) << ctx;
+    EXPECT_EQ(delivered_masks(got, n), delivered_masks(want, n)) << ctx;
+    EXPECT_EQ(active.total_deliveries(), dense.total_deliveries()) << ctx;
+    EXPECT_EQ(active.total_transmissions(), dense.total_transmissions())
+        << ctx;
+    EXPECT_EQ(active.total_collisions(), dense.total_collisions()) << ctx;
+    EXPECT_EQ(active.rounds_elapsed(), 1u) << ctx;
+  }
+}
+
+// active_listeners: frontier and scalar agree on the woken-set size (every
+// node with >=1 transmitting neighbour, transmitters included), bitslice
+// agrees on the batch path, and the sharded backend reports 0 by design.
+TEST(MediumFrontier, ActiveListenersDiagnostic) {
+  util::Rng rng(96);
+  const Graph g = graph::gnp(100, 0.08, rng);
+  const NodeId n = g.node_count();
+  std::vector<NodeId> tx;
+  std::vector<Payload> pay;
+  for (NodeId v = 0; v < n; ++v) {
+    if (rng.bernoulli(0.2)) {
+      tx.push_back(v);
+      pay.push_back(v);
+    }
+  }
+  // Ground truth: nodes with at least one transmitting neighbour.
+  std::vector<std::uint8_t> is_tx(n, 0);
+  for (const NodeId u : tx) is_tx[u] = 1;
+  std::uint32_t want_active = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    for (const NodeId u : g.neighbors(v)) {
+      if (is_tx[u]) {
+        ++want_active;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(want_active, 0u);
+
+  for (const MediumKind kind :
+       {MediumKind::kScalar, MediumKind::kBitslice, MediumKind::kFrontier}) {
+    auto medium = make_medium(kind, g, CollisionModel::kDetection);
+    SparseOutcome out;
+    medium->resolve(tx, pay, out);
+    EXPECT_EQ(out.active_listeners, want_active) << to_string(kind);
+    EXPECT_EQ(medium->phase_timers().active_listeners, want_active)
+        << to_string(kind);
+  }
+  {
+    auto sharded = make_medium(MediumKind::kSharded, g,
+                               CollisionModel::kDetection, 3);
+    SparseOutcome out;
+    sharded->resolve(tx, pay, out);
+    EXPECT_EQ(out.active_listeners, 0u);  // documented: not tracked
+  }
+
+  // Batch path: frontier's queue size == bitslice's emit count, and the
+  // sparse-tail shape keeps it far below n.
+  std::vector<std::uint64_t> tx_mask = make_round(n, 64, 0.6, 3, rng);
+  std::vector<Payload> planes(n, 1);
+  BatchOutcome a, b;
+  auto frontier = make_medium(MediumKind::kFrontier, g,
+                              CollisionModel::kNoDetection);
+  auto bitslice = make_medium(MediumKind::kBitslice, g,
+                              CollisionModel::kNoDetection);
+  frontier->resolve_batch(tx_mask, planes, 64, a);
+  bitslice->resolve_batch(tx_mask, planes, 64, b);
+  EXPECT_EQ(a.active_listeners, b.active_listeners);
+  EXPECT_LT(a.active_listeners, n);
+}
+
+// Phase attribution: the frontier kernel spends its round in
+// enqueue/drain (+ recover when senders are requested), never in the
+// dense traverse/output phases; repeated rounds accumulate rounds and the
+// rowscan counter; mask-only rounds skip recovery entirely.
+TEST(MediumFrontier, PhaseTimersAttribution) {
+  util::Rng rng(97);
+  const Graph g = graph::gnp(80, 0.1, rng);
+  const NodeId n = g.node_count();
+  std::vector<std::uint64_t> tx_mask = make_round(n, 64, 0.2, n, rng);
+  std::vector<Payload> planes(n);
+  for (NodeId v = 0; v < n; ++v) planes[v] = v + 1;
+  auto medium = make_medium(MediumKind::kFrontier, g,
+                            CollisionModel::kNoDetection);
+  BatchOutcome out;
+  for (int round = 0; round < 3; ++round) {
+    medium->resolve_batch(tx_mask, planes, 64, out);
+  }
+  const PhaseTimers& t = medium->phase_timers();
+  EXPECT_EQ(t.rounds, 3u);
+  EXPECT_EQ(t.rowscan_rounds, 3u);
+  EXPECT_EQ(t.traverse_ns, 0u);
+  EXPECT_EQ(t.output_ns, 0u);
+  EXPECT_GT(t.active_listeners, 0u);
+
+  medium->reset_phase_timers();
+  EXPECT_EQ(medium->phase_timers().rounds, 0u);
+  EXPECT_EQ(medium->phase_timers().active_listeners, 0u);
+  medium->resolve_batch(tx_mask, planes, 64, out, /*with_senders=*/false);
+  EXPECT_EQ(medium->phase_timers().rounds, 1u);
+  EXPECT_EQ(medium->phase_timers().rowscan_rounds, 0u);
+  EXPECT_EQ(medium->phase_timers().recover_ns, 0u);
+
+  // kAuto constant-plane max-fold shortcut is counted like bitslice's.
+  medium->reset_phase_timers();
+  std::vector<Payload> shared(n, 9);
+  std::vector<Payload> best(static_cast<std::size_t>(64) * n, kNoPayload);
+  BatchOutcome fold_out;
+  medium->resolve_batch_max(tx_mask, shared, 64, best, fold_out);
+  EXPECT_EQ(medium->phase_timers().constfold_rounds, 1u);
+  EXPECT_EQ(medium->phase_timers().rowscan_rounds, 0u);
+}
+
+TEST(MediumFrontier, ParseAndFactory) {
+  EXPECT_EQ(parse_medium_kind("frontier"), MediumKind::kFrontier);
+  EXPECT_EQ(to_string(MediumKind::kFrontier), "frontier");
+  EXPECT_THROW(parse_medium_kind("quantum"), std::invalid_argument);
+  const Graph g = graph::star(5);
+  auto medium = make_medium(MediumKind::kFrontier, g,
+                            CollisionModel::kNoDetection);
+  EXPECT_EQ(medium->name(), "frontier");
+}
+
+}  // namespace
+}  // namespace radiocast::radio
