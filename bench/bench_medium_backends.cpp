@@ -11,8 +11,9 @@
 //
 // Part 2 — single-instance sharding. Fixed transmitter sets on a large
 // Gnp instance, resolved by the scalar and sharded backends; the sharded
-// backend cuts the listener space into degree-balanced CSR shards and
-// runs them on a worker pool with a deterministic merge.
+// backend cuts the listener space into degree-balanced slices, runs them
+// on a work-stealing worker pool, and merges in slice order so outcomes
+// are byte-identical for every worker count.
 //
 // Part 3 — sparse-tail rounds. A geometrically decaying transmitter
 // schedule on a large Gnp instance (the long-tail shape of Decay back-off
@@ -25,8 +26,18 @@
 // cross-checksummed; the acceptance bar is frontier >= 5x bitslice
 // lane-rounds/s on the tail segment at n = 1e6 (full mode).
 //
+// Part 4 — knowledge-plane layout. The 64-lane max-fold kernel timed
+// against node-major vs lane-major best[] planes over one dense round's
+// deliveries; the acceptance bar is node-major >= 1.3x lane-major.
+//
+// Part 5 — two-level sharded batch. 64-lane resolve_batch rounds on the
+// work-stealing sharded backend (slices x lanes) across worker counts,
+// with bitslice as the single-worker reference; outcomes stay
+// byte-identical for every worker count.
+//
 // --medium=scalar|bitslice|sharded|frontier restricts the comparison to
 // one backend (used by the CI smoke matrix); by default all rows run.
+#include <algorithm>
 #include <bit>
 #include <chrono>
 #include <cstdint>
@@ -455,5 +466,172 @@ RADIOCAST_SCENARIO(medium_backends, "medium-backends",
     ctx.note("(frontier wakes only listeners adjacent to this round's "
              "transmitters — tail cost follows active/round, not n; "
              "acceptance bar is >= 5x bitslice on tail rounds at n=1e6)");
+  }
+
+  // ---- Part 4: knowledge-plane layout (node-major vs lane-major) -------
+  // The 64-lane max-fold writes each delivered listener's won lanes into
+  // best[]. Lane-major planes scatter those writes across 64 planes (one
+  // cache line each, n*sizeof(Payload) apart); node-major keeps a
+  // listener's lane words contiguous. The microbench times the fold kernel
+  // itself over a real round's delivered masks; the acceptance bar is
+  // node-major >= 1.3x lane-major.
+  {
+    util::Rng grng(util::mix_seed(seed, 5));
+    const graph::NodeId n = quick ? 20000 : 100000;
+    const graph::Graph g = graph::gnp(n, 10.0 / n, grng);
+    constexpr int kLanes = radio::kMaxLanes;
+    const std::uint64_t live = radio::lane_mask(kLanes);
+    std::vector<std::uint64_t> tx_mask(n);
+    {
+      // ~25% per-lane transmit density: the fold-heavy regime where most
+      // listeners win in several lanes.
+      std::uint64_t state = util::mix_seed(seed, 6);
+      for (graph::NodeId v = 0; v < n; ++v) {
+        tx_mask[v] = util::splitmix64(state) & util::splitmix64(state) & live;
+      }
+    }
+    const std::vector<radio::Payload> payload(n, kFloodValue);
+    radio::BatchOutcome out;
+    auto bitslice = radio::make_medium(radio::MediumKind::kBitslice, g,
+                                       radio::CollisionModel::kNoDetection);
+    bitslice->resolve_batch(tx_mask, payload, kLanes, out,
+                            /*with_senders=*/false);
+    std::uint64_t fold_writes = 0;
+    for (const auto& dm : out.delivered) {
+      fold_writes += std::popcount(dm.lanes);
+    }
+
+    const int iters = quick ? 30 : 60;
+    util::Table t({"best layout", "folds/round", "ns/round", "ns/fold",
+                   "speedup"});
+    double lane_major_ns = 0.0;
+    std::vector<radio::Payload> best(static_cast<std::size_t>(kLanes) * n,
+                                     radio::kNoPayload);
+    for (const bool node_major : {false, true}) {
+      const radio::KnowledgePlanes view =
+          node_major ? radio::KnowledgePlanes::node_major(best, n)
+                     : radio::KnowledgePlanes::lane_major(best, n);
+      const std::size_t bls = view.lane_stride();
+      // Monotonically growing payloads keep every fold a real write (the
+      // max always improves), so both layouts pay their write traffic.
+      std::fill(best.begin(), best.end(), radio::kNoPayload);
+      auto fold_round = [&](radio::Payload base) {
+        for (const auto& dm : out.delivered) {
+          radio::Payload* const brow = view.row(dm.node);
+          std::uint64_t hit = dm.lanes;
+          do {
+            const int lane = std::countr_zero(hit);
+            radio::Payload& b =
+                brow[static_cast<std::size_t>(lane) * bls];
+            const radio::Payload p =
+                base + static_cast<radio::Payload>(lane);
+            if (b == radio::kNoPayload || p > b) b = p;
+            hit &= hit - 1;
+          } while (hit != 0);
+        }
+      };
+      fold_round(1);  // warmup + first-touch
+      const double t0 = now_ms();
+      for (int i = 0; i < iters; ++i) {
+        fold_round(static_cast<radio::Payload>(100 + i * kLanes));
+      }
+      const double ns = (now_ms() - t0) * 1e6 / iters;
+      if (!node_major) lane_major_ns = ns;
+      t.row()
+          .add(node_major ? "node-major" : "lane-major")
+          .add(static_cast<double>(fold_writes), 0)
+          .add(ns, 0)
+          .add(fold_writes > 0 ? ns / static_cast<double>(fold_writes) : 0.0,
+               2)
+          .add(lane_major_ns > 0 && ns > 0 ? lane_major_ns / ns : 1.0, 2);
+      ctx.record({"fold-layout", node_major ? 1 : 0,
+                  static_cast<double>(fold_writes), ns, ns, "bitslice",
+                  kLanes, node_major ? "node-major" : "lane-major", 0.0, 0.0,
+                  0.0, 0.0});
+    }
+    ctx.emit(t,
+             "64-lane max-fold into best[] planes, one dense round's "
+             "deliveries on gnp(n=" + std::to_string(n) + ", avg_deg~10)",
+             "medium_backends_fold_layout");
+    ctx.note("(node-major puts each listener's 64 lane words in one "
+             "contiguous run; acceptance bar is >= 1.3x lane-major)");
+  }
+
+  // ---- Part 5: two-level sharded batch (slices x 64 lanes) -------------
+  // Every slice runs the 64-lane bitslice kernel, so the sharded batch is
+  // worker-parallel ON TOP of lane-parallel. Outcomes are byte-identical
+  // for every worker count (pinned by tests); this table records how the
+  // cost moves with workers on this host.
+  if (enabled(radio::MediumKind::kSharded) ||
+      enabled(radio::MediumKind::kBitslice)) {
+    util::Rng grng(util::mix_seed(seed, 7));
+    const graph::NodeId n = quick ? 20000 : 100000;
+    const graph::Graph g = graph::gnp(n, 10.0 / n, grng);
+    constexpr int kLanes = radio::kMaxLanes;
+    const std::uint64_t live = radio::lane_mask(kLanes);
+    std::vector<std::uint64_t> tx_mask(n);
+    std::uint64_t state = util::mix_seed(seed, 8);
+    for (graph::NodeId v = 0; v < n; ++v) {
+      tx_mask[v] = util::splitmix64(state) & util::splitmix64(state) & live;
+    }
+    const std::vector<radio::Payload> payload(n, kFloodValue);
+    const int iters = quick ? 10 : 20;
+
+    util::Table t({"backend", "workers", "ns/round", "lane-rounds/s",
+                   "scaling"});
+    double one_worker_ns = 0.0;
+    auto time_medium = [&](radio::Medium& m) {
+      radio::BatchOutcome out;
+      m.resolve_batch(tx_mask, payload, kLanes, out, /*with_senders=*/false);
+      const double t0 = now_ms();
+      for (int i = 0; i < iters; ++i) {
+        m.resolve_batch(tx_mask, payload, kLanes, out,
+                        /*with_senders=*/false);
+      }
+      return (now_ms() - t0) * 1e6 / iters;
+    };
+    if (enabled(radio::MediumKind::kBitslice)) {
+      auto m = radio::make_medium(radio::MediumKind::kBitslice, g,
+                                  radio::CollisionModel::kNoDetection);
+      const double ns = time_medium(*m);
+      t.row()
+          .add("bitslice")
+          .add(1.0, 0)
+          .add(ns, 0)
+          .add(ns > 0 ? kLanes * 1e9 / ns : 0.0, 0)
+          .add(1.0, 2);
+    }
+    if (enabled(radio::MediumKind::kSharded)) {
+      const unsigned hw = std::thread::hardware_concurrency();
+      for (const int workers : {1, 2, 4}) {
+        if (workers > 1 &&
+            static_cast<unsigned>(workers) > std::max(hw, 1u) * 4) {
+          continue;
+        }
+        auto m = radio::make_medium(radio::MediumKind::kSharded, g,
+                                    radio::CollisionModel::kNoDetection,
+                                    workers);
+        const double ns = time_medium(*m);
+        if (workers == 1) one_worker_ns = ns;
+        t.row()
+            .add("sharded")
+            .add(static_cast<double>(workers), 0)
+            .add(ns, 0)
+            .add(ns > 0 ? kLanes * 1e9 / ns : 0.0, 0)
+            .add(one_worker_ns > 0 && ns > 0 ? one_worker_ns / ns : 1.0, 2);
+        ctx.record({"two-level", workers, ns,
+                    ns > 0 ? kLanes * 1e9 / ns : 0.0,
+                    one_worker_ns > 0 && ns > 0 ? one_worker_ns / ns : 1.0,
+                    "sharded", kLanes, "", 0.0, 0.0, 0.0, 0.0});
+      }
+    }
+    ctx.emit(t,
+             "64-lane batch rounds on gnp(n=" + std::to_string(n) +
+                 ", avg_deg~10), dense shape",
+             "medium_backends_two_level");
+    ctx.note("(sharded = work-stealing slices x 64 bitslice lanes; "
+             "outcomes byte-identical for every worker count — scaling "
+             "needs cores, this host has hardware_concurrency=" +
+             std::to_string(std::thread::hardware_concurrency()) + ")");
   }
 }

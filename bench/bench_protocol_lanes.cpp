@@ -65,14 +65,18 @@ std::vector<std::vector<double>> decay_lanes_body(
   for (const std::uint64_t s : seeds) rngs.emplace_back(s);
   const std::vector<std::uint64_t> participates(n, lane_mask);
   const std::vector<radio::Payload> payload(n, kDecayValue);
+  // Node-major knowledge planes: the layout the batched cores use, so the
+  // bench measures the contiguous per-listener fold path.
   std::vector<radio::Payload> best(static_cast<std::size_t>(lanes) * n,
                                    radio::kNoPayload);
+  const radio::KnowledgePlanes bestk =
+      radio::KnowledgePlanes::node_major(best, n);
   radio::BatchOutcome out;
   std::vector<std::uint64_t> delivered(static_cast<std::size_t>(lanes), 0);
   const std::uint32_t steps = schedule::decay_round_length(n);
   for (int c = 0; c < cycles; ++c) {
     for (std::uint32_t s = 1; s <= steps; ++s) {
-      schedule::decay_step_lanes(net, participates, payload, s, best, rngs,
+      schedule::decay_step_lanes(net, participates, payload, s, bestk, rngs,
                                  out);
       for (int l = 0; l < lanes; ++l) {
         delivered[static_cast<std::size_t>(l)] += out.delivered_count[l];

@@ -23,9 +23,13 @@ std::vector<CompeteLaneResult> compete_batched(
 
   std::vector<CompeteLaneResult> results(static_cast<std::size_t>(lanes));
   radio::Payload winner = radio::kNoPayload;
-  // Lane-major knowledge planes: lane l owns best[l*n, (l+1)*n).
+  // Node-major knowledge planes: node v owns best[v*lanes, (v+1)*lanes),
+  // so the medium's max-fold writes each listener's lane words as one
+  // contiguous run (see KnowledgePlanes).
   std::vector<radio::Payload> best(static_cast<std::size_t>(lanes) * n,
                                    radio::kNoPayload);
+  const radio::KnowledgePlanes bestk =
+      radio::KnowledgePlanes::node_major(best, n);
   // Bit l of informed[v]: v knows something in lane l (and so relays).
   std::vector<std::uint64_t> informed(n, 0);
   for (const auto& s : sources) {
@@ -33,7 +37,7 @@ std::vector<CompeteLaneResult> compete_batched(
       throw std::out_of_range("compete_batched: source out of range");
     }
     for (int l = 0; l < lanes; ++l) {
-      radio::Payload& b = best[static_cast<std::size_t>(l) * n + s.node];
+      radio::Payload& b = bestk.at(l, s.node);
       if (b == radio::kNoPayload || s.value > b) b = s.value;
     }
     informed[s.node] = lane_mask;
@@ -65,9 +69,8 @@ std::vector<CompeteLaneResult> compete_batched(
           : std::max<std::uint32_t>(1, params.cycle_depth);
 
   auto lane_done = [&](int l) {
-    const radio::Payload* plane = best.data() + static_cast<std::size_t>(l) * n;
     for (NodeId v = 0; v < n; ++v) {
-      if (plane[v] != winner) return false;
+      if (bestk.at(l, v) != winner) return false;
     }
     return true;
   };
@@ -82,7 +85,7 @@ std::vector<CompeteLaneResult> compete_batched(
 
   std::vector<std::uint64_t> participates(n, 0);
   radio::BatchOutcome out;
-  const radio::PayloadPlanes planes = radio::PayloadPlanes::lane_major(best, n);
+  const radio::PayloadPlanes planes = radio::PayloadPlanes::node_major(best, n);
   std::uint64_t round = 0;
   std::uint32_t since_check = 0;
   while (active != 0 && round < params.max_rounds) {
@@ -91,7 +94,7 @@ std::vector<CompeteLaneResult> compete_batched(
     // at the values a standalone run would have terminated with (the coin
     // words their streams keep yielding can no longer influence anything).
     for (NodeId v = 0; v < n; ++v) participates[v] = informed[v] & active;
-    schedule::decay_step_lanes(net, participates, planes, step, best, rngs,
+    schedule::decay_step_lanes(net, participates, planes, step, bestk, rngs,
                                out);
     for (const auto& dm : out.delivered) {
       informed[dm.node] |= dm.lanes;  // delivered lanes are active lanes
@@ -124,10 +127,10 @@ std::vector<CompeteLaneResult> compete_batched(
 
   for (int l = 0; l < lanes; ++l) {
     CompeteLaneResult& r = results[static_cast<std::size_t>(l)];
-    const auto plane = best.begin() + static_cast<std::ptrdiff_t>(l) * n;
-    r.best.assign(plane, plane + n);
+    r.best.resize(n);
     r.informed = 0;
     for (NodeId v = 0; v < n; ++v) {
+      r.best[v] = bestk.at(l, v);
       if (r.best[v] == winner) ++r.informed;
     }
   }

@@ -31,8 +31,21 @@ void BatchNetwork::step(std::span<const std::uint64_t> tx_mask,
 
 void BatchNetwork::step_lanes_max(std::span<const std::uint64_t> tx_mask,
                                   PayloadPlanes payload,
-                                  std::span<Payload> best, BatchOutcome& out) {
+                                  KnowledgePlanes best, BatchOutcome& out) {
   medium_->resolve_batch_max(tx_mask, payload, lanes_, best, out);
+  ++rounds_;
+  for (int l = 0; l < lanes_; ++l) {
+    total_tx_[l] += out.transmitter_count[l];
+    total_delivered_[l] += out.delivered_count[l];
+    total_collided_[l] += out.collided_count[l];
+  }
+}
+
+void BatchNetwork::step_lanes_max_active(std::span<const ActiveTx> tx,
+                                         PayloadPlanes payload,
+                                         KnowledgePlanes best,
+                                         BatchOutcome& out) {
+  medium_->resolve_batch_max_active(tx, payload, lanes_, best, out);
   ++rounds_;
   for (int l = 0; l < lanes_; ++l) {
     total_tx_[l] += out.transmitter_count[l];

@@ -64,13 +64,19 @@ class BatchNetwork : public LaneExecutor {
   /// Fold variant (see LaneExecutor): one Medium::resolve_batch_max call,
   /// counters advance like step().
   void step_lanes_max(std::span<const std::uint64_t> tx_mask,
-                      PayloadPlanes payload, std::span<Payload> best,
+                      PayloadPlanes payload, KnowledgePlanes best,
                       BatchOutcome& out) override;
 
   /// Sparse variant (see LaneExecutor): one Medium::resolve_batch_active
   /// call — the O(active-work) path on the frontier backend.
   void step_lanes_active(std::span<const ActiveTx> tx, PayloadPlanes payload,
                          BatchOutcome& out, bool with_senders = true) override;
+
+  /// Sparse fold variant (see LaneExecutor): one
+  /// Medium::resolve_batch_max_active call.
+  void step_lanes_max_active(std::span<const ActiveTx> tx,
+                             PayloadPlanes payload, KnowledgePlanes best,
+                             BatchOutcome& out) override;
 
   Round rounds_elapsed() const { return rounds_; }
   const std::array<std::uint64_t, kMaxLanes>& transmissions_by_lane() const {

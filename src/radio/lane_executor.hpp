@@ -49,12 +49,13 @@ class LaneExecutor {
                           bool with_senders = true) = 0;
 
   /// Fold variant for max-relay protocols: deliveries max-combine into the
-  /// lane-major knowledge planes `best` (entry lane * node_count + v)
-  /// instead of materializing out.deliveries — see
-  /// Medium::resolve_batch_max. Counters and delivered masks come in `out`
-  /// as usual.
+  /// knowledge planes `best` (any KnowledgePlanes layout; the batched
+  /// protocol cores use node-major so each listener's folded lane words
+  /// are one contiguous run) instead of materializing out.deliveries —
+  /// see Medium::resolve_batch_max. Counters and delivered masks come in
+  /// `out` as usual.
   virtual void step_lanes_max(std::span<const std::uint64_t> tx_mask,
-                              PayloadPlanes payload, std::span<Payload> best,
+                              PayloadPlanes payload, KnowledgePlanes best,
                               BatchOutcome& out) = 0;
 
   /// Sparse variant: the transmitter set as (node, lane mask) entries
@@ -66,6 +67,15 @@ class LaneExecutor {
   virtual void step_lanes_active(std::span<const ActiveTx> tx,
                                  PayloadPlanes payload, BatchOutcome& out,
                                  bool with_senders = true) = 0;
+
+  /// Sparse fold variant: step_lanes_max over a sparse transmitter list
+  /// (see Medium::resolve_batch_max_active) — how a max-relay protocol's
+  /// sparse tail rounds reach the O(active-work) path without giving up
+  /// the in-medium fold.
+  virtual void step_lanes_max_active(std::span<const ActiveTx> tx,
+                                     PayloadPlanes payload,
+                                     KnowledgePlanes best,
+                                     BatchOutcome& out) = 0;
 
   graph::NodeId node_count() const { return topology().node_count(); }
 };

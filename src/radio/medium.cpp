@@ -127,14 +127,14 @@ void Medium::resolve_batch(std::span<const std::uint64_t> tx_mask,
 
 void Medium::resolve_batch_max(std::span<const std::uint64_t> tx_mask,
                                PayloadPlanes payload, int lanes,
-                               std::span<Payload> best, BatchOutcome& out) {
+                               KnowledgePlanes best, BatchOutcome& out) {
   const graph::NodeId n = graph_->node_count();
-  if (best.size() < static_cast<std::size_t>(lanes) * n) {
+  if (best.plane_size() < n || lanes > best.lane_capacity()) {
     throw std::invalid_argument("Medium::resolve_batch_max: best too small");
   }
   resolve_batch(tx_mask, payload, lanes, out, /*with_senders=*/true);
   for (const auto& d : out.deliveries) {
-    Payload& b = best[static_cast<std::size_t>(d.lane) * n + d.node];
+    Payload& b = best.at(d.lane, d.node);
     if (b == kNoPayload || d.payload > b) b = d.payload;
   }
   out.deliveries.clear();  // match the backends that never build them
@@ -169,10 +169,10 @@ void Medium::resolve_batch_active(std::span<const ActiveTx> tx,
 
 void Medium::resolve_batch_max_active(std::span<const ActiveTx> tx,
                                       PayloadPlanes payload, int lanes,
-                                      std::span<Payload> best,
+                                      KnowledgePlanes best,
                                       BatchOutcome& out) {
   const graph::NodeId n = graph_->node_count();
-  if (best.size() < static_cast<std::size_t>(lanes) * n) {
+  if (best.plane_size() < n || lanes > best.lane_capacity()) {
     throw std::invalid_argument(
         "Medium::resolve_batch_max_active: best too small");
   }

@@ -157,16 +157,22 @@ constexpr std::uint64_t lane_mask(int lanes) {
 }
 
 /// Per-lane payload view for the batched entry points: entry (lane, node)
-/// is what the node transmits in that lane. Two layouts:
+/// is what the node transmits in that lane. Three layouts, all expressed
+/// through one dual-stride address function
+///
+///   at(lane, v) = data[lane * lane_stride + v * node_stride]
 ///
 ///   * shared — one node_count-sized plane broadcast to every lane
-///     (stride 0). The original lane-invariant contract, still the natural
-///     fit for floods where every lane relays the same constant.
+///     (lane_stride 0). The original lane-invariant contract, still the
+///     natural fit for floods where every lane relays the same constant.
 ///   * lane-major — a lanes x node_count buffer where plane l occupies
-///     [l * node_count, (l+1) * node_count). This is the layout protocol
-///     knowledge planes (best[]) use, so a batched protocol can hand its
-///     own state straight to the medium — each Monte-Carlo lane relays the
-///     value it actually holds.
+///     [l * node_count, (l+1) * node_count). Kept as a view adapter for
+///     scalar facades and per-lane extraction.
+///   * node-major — a node_count x lanes buffer where node v's lane words
+///     occupy [v * lanes, (v+1) * lanes): one contiguous cache-line run
+///     per listener. This is the layout protocol knowledge planes (best[])
+///     use, so the max-fold's per-listener writes are sequential instead
+///     of strided across planes.
 ///
 /// The view is non-owning; the buffer must outlive the call it is passed
 /// to (media never retain it across calls).
@@ -183,36 +189,131 @@ class PayloadPlanes {
   /// lanes served is data.size() / node_count.
   static PayloadPlanes lane_major(std::span<const Payload> data,
                                   std::size_t node_count) {
-    const int capacity =
-        node_count == 0
-            ? kMaxLanes
-            : static_cast<int>(
-                  std::min<std::size_t>(kMaxLanes, data.size() / node_count));
-    return PayloadPlanes(data.data(), node_count, node_count, capacity);
+    const int capacity = capacity_for(data.size(), node_count);
+    return PayloadPlanes(data.data(), node_count, node_count, 1, capacity);
+  }
+
+  /// Node-major planes over a (node_count x lanes) buffer: node v's lane
+  /// words are the contiguous run data[v * lanes .. v * lanes + lanes).
+  static PayloadPlanes node_major(std::span<const Payload> data,
+                                  std::size_t node_count) {
+    const int capacity = capacity_for(data.size(), node_count);
+    return PayloadPlanes(data.data(), node_count, 1,
+                         static_cast<std::size_t>(capacity), capacity);
   }
 
   /// What `v` transmits in lane `lane`.
   Payload at(int lane, graph::NodeId v) const {
-    return data_[stride_ * static_cast<std::size_t>(lane) + v];
+    return data_[lane_stride_ * static_cast<std::size_t>(lane) +
+                 node_stride_ * static_cast<std::size_t>(v)];
   }
+  /// Base pointer of node `v`'s lane run; lane l lives at
+  /// row(v)[l * lane_stride()]. Hot loops hoist this so one generic code
+  /// path covers every layout with no branches.
+  const Payload* row(graph::NodeId v) const {
+    return data_ + node_stride_ * static_cast<std::size_t>(v);
+  }
+  std::size_t lane_stride() const { return lane_stride_; }
+  std::size_t node_stride() const { return node_stride_; }
   /// Nodes covered by each plane.
   std::size_t plane_size() const { return plane_size_; }
   /// Lanes the buffer can serve (kMaxLanes when shared).
   int lane_capacity() const { return lane_capacity_; }
-  bool lane_invariant() const { return stride_ == 0; }
+  bool lane_invariant() const { return lane_stride_ == 0; }
 
  private:
+  static int capacity_for(std::size_t size, std::size_t node_count) {
+    return node_count == 0
+               ? kMaxLanes
+               : static_cast<int>(
+                     std::min<std::size_t>(kMaxLanes, size / node_count));
+  }
+
   PayloadPlanes(const Payload* data, std::size_t plane_size,
-                std::size_t stride, int lane_capacity)
+                std::size_t lane_stride, std::size_t node_stride,
+                int lane_capacity)
       : data_(data),
         plane_size_(plane_size),
-        stride_(stride),
+        lane_stride_(lane_stride),
+        node_stride_(node_stride),
         lane_capacity_(lane_capacity) {}
 
   const Payload* data_;
   std::size_t plane_size_;
-  std::size_t stride_ = 0;
+  std::size_t lane_stride_ = 0;
+  std::size_t node_stride_ = 1;
   int lane_capacity_ = kMaxLanes;
+};
+
+/// Mutable per-lane knowledge-plane view — the fold target of the
+/// resolve_batch_max entry points. Same dual-stride address function as
+/// PayloadPlanes (shared / lane-major / node-major); node-major is the
+/// layout the batched protocol cores use, so each listener's up-to-64
+/// folded lane words land in one contiguous cache-line run instead of the
+/// old strided best[lane * n + v] scatter.
+class KnowledgePlanes {
+ public:
+  /// Single shared plane — the scalar facades' adapter (1 lane, so the
+  /// layout distinction is vacuous). Implicit on purpose: span/vector
+  /// call sites that fold one lane keep working unchanged.
+  KnowledgePlanes(std::span<Payload> plane)
+      : data_(plane.data()), plane_size_(plane.size()), lane_capacity_(1) {}
+  KnowledgePlanes(std::vector<Payload>& plane)
+      : KnowledgePlanes(std::span<Payload>(plane)) {}
+
+  /// Lane-major planes over a (lanes x node_count) buffer (view adapter
+  /// for consumers that still want plane-contiguous extraction).
+  static KnowledgePlanes lane_major(std::span<Payload> data,
+                                    std::size_t node_count) {
+    const int capacity = capacity_for(data.size(), node_count);
+    return KnowledgePlanes(data.data(), node_count, node_count, 1, capacity);
+  }
+
+  /// Node-major planes over a (node_count x lanes) buffer: node v's lane
+  /// words are the contiguous run data[v * lanes .. v * lanes + lanes).
+  static KnowledgePlanes node_major(std::span<Payload> data,
+                                    std::size_t node_count) {
+    const int capacity = capacity_for(data.size(), node_count);
+    return KnowledgePlanes(data.data(), node_count, 1,
+                           static_cast<std::size_t>(capacity), capacity);
+  }
+
+  Payload& at(int lane, graph::NodeId v) const {
+    return data_[lane_stride_ * static_cast<std::size_t>(lane) +
+                 node_stride_ * static_cast<std::size_t>(v)];
+  }
+  /// Base pointer of node `v`'s lane run; lane l lives at
+  /// row(v)[l * lane_stride()].
+  Payload* row(graph::NodeId v) const {
+    return data_ + node_stride_ * static_cast<std::size_t>(v);
+  }
+  std::size_t lane_stride() const { return lane_stride_; }
+  std::size_t node_stride() const { return node_stride_; }
+  std::size_t plane_size() const { return plane_size_; }
+  int lane_capacity() const { return lane_capacity_; }
+
+ private:
+  static int capacity_for(std::size_t size, std::size_t node_count) {
+    return node_count == 0
+               ? kMaxLanes
+               : static_cast<int>(
+                     std::min<std::size_t>(kMaxLanes, size / node_count));
+  }
+
+  KnowledgePlanes(Payload* data, std::size_t plane_size,
+                  std::size_t lane_stride, std::size_t node_stride,
+                  int lane_capacity)
+      : data_(data),
+        plane_size_(plane_size),
+        lane_stride_(lane_stride),
+        node_stride_(node_stride),
+        lane_capacity_(lane_capacity) {}
+
+  Payload* data_;
+  std::size_t plane_size_;
+  std::size_t lane_stride_ = 0;
+  std::size_t node_stride_ = 1;
+  int lane_capacity_ = 1;
 };
 
 /// One transmitter of a batched round in sparse form: the node plus the
@@ -332,16 +433,18 @@ class Medium {
 
   /// Fold variant of resolve_batch for max-relay protocols (Decay,
   /// Compete): every delivery (v, lane) max-combines its payload straight
-  /// into the lane-major knowledge planes — best[lane * n + v] =
-  /// max(best, delivered) with kNoPayload as "nothing yet" — instead of
-  /// materializing per-delivery records. `out` carries the delivered
-  /// masks and counters; out.deliveries is left empty (the whole point is
-  /// not to build it: for a 64-lane batch that is millions of records per
-  /// replication sweep). Results are identical to running resolve_batch
-  /// with senders and folding the deliveries afterwards.
+  /// into the knowledge planes — best.at(lane, v) = max(best, delivered)
+  /// with kNoPayload as "nothing yet" — instead of materializing
+  /// per-delivery records. The view accepts any KnowledgePlanes layout;
+  /// node-major is the fast path (each listener's folded lane words are
+  /// one contiguous run). `out` carries the delivered masks and counters;
+  /// out.deliveries is left empty (the whole point is not to build it:
+  /// for a 64-lane batch that is millions of records per replication
+  /// sweep). Results are identical to running resolve_batch with senders
+  /// and folding the deliveries afterwards.
   virtual void resolve_batch_max(std::span<const std::uint64_t> tx_mask,
                                  PayloadPlanes payload, int lanes,
-                                 std::span<Payload> best, BatchOutcome& out);
+                                 KnowledgePlanes best, BatchOutcome& out);
 
   /// Sparse batched entry point: the transmitter set arrives as a list of
   /// (node, lane mask) entries instead of an n-word dense mask, so a
@@ -360,7 +463,7 @@ class Medium {
   /// Fold variant of resolve_batch_active (see resolve_batch_max).
   virtual void resolve_batch_max_active(std::span<const ActiveTx> tx,
                                         PayloadPlanes payload, int lanes,
-                                        std::span<Payload> best,
+                                        KnowledgePlanes best,
                                         BatchOutcome& out);
 
  protected:

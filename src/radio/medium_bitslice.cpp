@@ -344,7 +344,7 @@ void BitsliceMedium::run_core(std::span<const std::uint64_t> tx_mask,
 void BitsliceMedium::run_batch(std::span<const std::uint64_t> tx_mask,
                                PayloadPlanes payload, int lanes,
                                BatchOutcome& out, FoldMode mode,
-                               std::span<Payload> best) {
+                               KnowledgePlanes best) {
   const graph::NodeId n = graph_->node_count();
   if (tx_mask.size() != n || payload.plane_size() != n) {
     throw std::invalid_argument("BitsliceMedium: size mismatch");
@@ -399,13 +399,14 @@ void BitsliceMedium::run_batch(std::span<const std::uint64_t> tx_mask,
     run_core(tx_mask, lane_mask, lanes, work, out, Recover::kNone,
              [](graph::NodeId, graph::NodeId, std::uint64_t) {});
     const std::uint64_t tr = now_ns();
+    const std::size_t bls = best.lane_stride();
     std::uint64_t scan = 0;
     for (const auto& dm : out.delivered) {
+      Payload* const brow = best.row(dm.node);
       std::uint64_t hit = dm.lanes;
       do {
         const int lane = std::countr_zero(hit);
-        Payload& b =
-            best[static_cast<std::size_t>(lane) * n + dm.node];
+        Payload& b = brow[static_cast<std::size_t>(lane) * bls];
         if (b == kNoPayload || const_value > b) b = const_value;
         hit &= hit - 1;
       } while (hit != 0);
@@ -444,22 +445,26 @@ void BitsliceMedium::run_batch(std::span<const std::uint64_t> tx_mask,
                }
              });
   } else if (mode == FoldMode::kMaxFold) {
+    const std::size_t bls = best.lane_stride();
+    const std::size_t pls = payload.lane_stride();
     run_core(tx_mask, lane_mask, lanes, work, out, recover,
              [&](const graph::NodeId v, const graph::NodeId u,
                  std::uint64_t hit) {
+               Payload* const brow = best.row(v);
                if (invariant) {
                  const Payload p = payload.at(0, u);
                  do {
                    const int lane = std::countr_zero(hit);
-                   Payload& b = best[static_cast<std::size_t>(lane) * n + v];
+                   Payload& b = brow[static_cast<std::size_t>(lane) * bls];
                    if (b == kNoPayload || p > b) b = p;
                    hit &= hit - 1;
                  } while (hit != 0);
                } else {
+                 const Payload* const prow = payload.row(u);
                  do {
                    const int lane = std::countr_zero(hit);
-                   Payload& b = best[static_cast<std::size_t>(lane) * n + v];
-                   const Payload p = payload.at(lane, u);
+                   Payload& b = brow[static_cast<std::size_t>(lane) * bls];
+                   const Payload p = prow[static_cast<std::size_t>(lane) * pls];
                    if (b == kNoPayload || p > b) b = p;
                    hit &= hit - 1;
                  } while (hit != 0);
@@ -475,15 +480,16 @@ void BitsliceMedium::resolve_batch(std::span<const std::uint64_t> tx_mask,
                                    PayloadPlanes payload, int lanes,
                                    BatchOutcome& out, bool with_senders) {
   run_batch(tx_mask, payload, lanes, out,
-            with_senders ? FoldMode::kSenders : FoldMode::kMasksOnly, {});
+            with_senders ? FoldMode::kSenders : FoldMode::kMasksOnly,
+            KnowledgePlanes(std::span<Payload>{}));
 }
 
 void BitsliceMedium::resolve_batch_max(std::span<const std::uint64_t> tx_mask,
                                        PayloadPlanes payload, int lanes,
-                                       std::span<Payload> best,
+                                       KnowledgePlanes best,
                                        BatchOutcome& out) {
   const graph::NodeId n = graph_->node_count();
-  if (best.size() < static_cast<std::size_t>(lanes) * n) {
+  if (best.plane_size() < n || lanes > best.lane_capacity()) {
     throw std::invalid_argument(
         "BitsliceMedium::resolve_batch_max: best too small");
   }

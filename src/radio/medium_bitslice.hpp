@@ -51,11 +51,12 @@ class BitsliceMedium final : public Medium {
                      bool with_senders = true) override;
 
   /// Fold path: every recovered (listener, lane, sender) max-combines the
-  /// sender's payload straight into the lane-major best planes — no
-  /// per-delivery records at all.
+  /// sender's payload straight into the best knowledge planes (any
+  /// KnowledgePlanes layout; node-major keeps each listener's folded lane
+  /// words in one cache-line run) — no per-delivery records at all.
   void resolve_batch_max(std::span<const std::uint64_t> tx_mask,
                          PayloadPlanes payload, int lanes,
-                         std::span<Payload> best, BatchOutcome& out) override;
+                         KnowledgePlanes best, BatchOutcome& out) override;
 
   /// Sender-id plane words per listener: ceil(log2 n), at least 1.
   std::uint32_t id_bits() const { return idbits_; }
@@ -91,7 +92,7 @@ class BitsliceMedium final : public Medium {
 
   void run_batch(std::span<const std::uint64_t> tx_mask, PayloadPlanes payload,
                  int lanes, BatchOutcome& out, FoldMode mode,
-                 std::span<Payload> best);
+                 KnowledgePlanes best);
   template <class Sink>
   void run_core(std::span<const std::uint64_t> tx_mask, std::uint64_t lane_mask,
                 int lanes, std::uint64_t work, BatchOutcome& out,

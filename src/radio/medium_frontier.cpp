@@ -40,7 +40,7 @@ void FrontierMedium::rowscan_senders(const BatchOutcome& out,
 void FrontierMedium::run_active(std::span<const ActiveTx> tx,
                                 PayloadPlanes payload, int lanes,
                                 BatchOutcome& out, FoldMode mode,
-                                std::span<Payload> best) {
+                                KnowledgePlanes best) {
   const graph::NodeId n = graph_->node_count();
   if (payload.plane_size() != n) {
     throw std::invalid_argument("FrontierMedium: size mismatch");
@@ -139,12 +139,14 @@ void FrontierMedium::run_active(std::span<const ActiveTx> tx,
   }
 
   const std::uint64_t t2 = now_ns();
+  const std::size_t bls = best.lane_stride();
   if (mode == FoldMode::kMaxFold && const_plane) {
     for (const auto& dm : out.delivered) {
+      Payload* const brow = best.row(dm.node);
       std::uint64_t hit = dm.lanes;
       do {
         const int lane = std::countr_zero(hit);
-        Payload& b = best[static_cast<std::size_t>(lane) * n + dm.node];
+        Payload& b = brow[static_cast<std::size_t>(lane) * bls];
         if (b == kNoPayload || const_value > b) b = const_value;
         hit &= hit - 1;
       } while (hit != 0);
@@ -175,21 +177,24 @@ void FrontierMedium::run_active(std::span<const ActiveTx> tx,
         }
       });
     } else {
+      const std::size_t pls = payload.lane_stride();
       rowscan_senders(out, [&](const graph::NodeId v, const graph::NodeId u,
                                std::uint64_t hit) {
+        Payload* const brow = best.row(v);
         if (invariant) {
           const Payload p = payload.at(0, u);
           do {
             const int lane = std::countr_zero(hit);
-            Payload& b = best[static_cast<std::size_t>(lane) * n + v];
+            Payload& b = brow[static_cast<std::size_t>(lane) * bls];
             if (b == kNoPayload || p > b) b = p;
             hit &= hit - 1;
           } while (hit != 0);
         } else {
+          const Payload* const prow = payload.row(u);
           do {
             const int lane = std::countr_zero(hit);
-            Payload& b = best[static_cast<std::size_t>(lane) * n + v];
-            const Payload p = payload.at(lane, u);
+            Payload& b = brow[static_cast<std::size_t>(lane) * bls];
+            const Payload p = prow[static_cast<std::size_t>(lane) * pls];
             if (b == kNoPayload || p > b) b = p;
             hit &= hit - 1;
           } while (hit != 0);
@@ -207,15 +212,16 @@ void FrontierMedium::resolve_batch_active(std::span<const ActiveTx> tx,
                                           BatchOutcome& out,
                                           bool with_senders) {
   run_active(tx, payload, lanes, out,
-             with_senders ? FoldMode::kSenders : FoldMode::kMasksOnly, {});
+             with_senders ? FoldMode::kSenders : FoldMode::kMasksOnly,
+             KnowledgePlanes(std::span<Payload>{}));
 }
 
 void FrontierMedium::resolve_batch_max_active(std::span<const ActiveTx> tx,
                                               PayloadPlanes payload, int lanes,
-                                              std::span<Payload> best,
+                                              KnowledgePlanes best,
                                               BatchOutcome& out) {
-  if (best.size() <
-      static_cast<std::size_t>(lanes) * graph_->node_count()) {
+  if (best.plane_size() < graph_->node_count() ||
+      lanes > best.lane_capacity()) {
     throw std::invalid_argument(
         "FrontierMedium::resolve_batch_max_active: best too small");
   }
@@ -243,7 +249,7 @@ void FrontierMedium::resolve_batch(std::span<const std::uint64_t> tx_mask,
 
 void FrontierMedium::resolve_batch_max(std::span<const std::uint64_t> tx_mask,
                                        PayloadPlanes payload, int lanes,
-                                       std::span<Payload> best,
+                                       KnowledgePlanes best,
                                        BatchOutcome& out) {
   const graph::NodeId n = graph_->node_count();
   if (tx_mask.size() != n) {
@@ -284,7 +290,7 @@ void FrontierMedium::resolve(std::span<const graph::NodeId> transmitters,
     active_.push_back({u, 1});
   }
   run_active(active_, std::span<const Payload>(payload1_), 1, batch_out_,
-             FoldMode::kSenders, {});
+             FoldMode::kSenders, KnowledgePlanes(std::span<Payload>{}));
 
   out.deliveries.clear();
   out.collided_nodes.clear();

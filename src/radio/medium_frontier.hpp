@@ -62,7 +62,7 @@ class FrontierMedium final : public Medium {
                      bool with_senders = true) override;
   void resolve_batch_max(std::span<const std::uint64_t> tx_mask,
                          PayloadPlanes payload, int lanes,
-                         std::span<Payload> best, BatchOutcome& out) override;
+                         KnowledgePlanes best, BatchOutcome& out) override;
 
   /// The native O(active-work) entry points.
   void resolve_batch_active(std::span<const ActiveTx> tx,
@@ -70,7 +70,7 @@ class FrontierMedium final : public Medium {
                             bool with_senders = true) override;
   void resolve_batch_max_active(std::span<const ActiveTx> tx,
                                 PayloadPlanes payload, int lanes,
-                                std::span<Payload> best,
+                                KnowledgePlanes best,
                                 BatchOutcome& out) override;
 
  private:
@@ -80,7 +80,7 @@ class FrontierMedium final : public Medium {
 
   void run_active(std::span<const ActiveTx> tx, PayloadPlanes payload,
                   int lanes, BatchOutcome& out, FoldMode mode,
-                  std::span<Payload> best);
+                  KnowledgePlanes best);
   /// Row scan over winning listeners; transmitter membership is tested
   /// against the round-stamped tx lane words (no dense mask exists). Sink:
   /// (listener, sender, lane mask), one call per sender group.

@@ -127,16 +127,31 @@ void Network::emit_batch(BatchOutcome& out, bool with_senders) {
 }
 
 void Network::step_lanes_max(std::span<const std::uint64_t> tx_mask,
-                             PayloadPlanes payload, std::span<Payload> best,
+                             PayloadPlanes payload, KnowledgePlanes best,
                              BatchOutcome& out) {
   const graph::NodeId n = graph_->node_count();
-  if (best.size() < n) {
+  if (best.plane_size() < n || best.lane_capacity() < 1) {
     throw std::invalid_argument("Network::step_lanes_max: best too small");
   }
   step_lanes(tx_mask, payload, out, /*with_senders=*/false);
   // One lane: fold straight from the sparse deliveries of the round.
   for (const auto& d : sparse_scratch_.deliveries) {
-    Payload& b = best[d.node];
+    Payload& b = best.at(0, d.node);
+    if (b == kNoPayload || d.payload > b) b = d.payload;
+  }
+}
+
+void Network::step_lanes_max_active(std::span<const ActiveTx> tx,
+                                    PayloadPlanes payload,
+                                    KnowledgePlanes best, BatchOutcome& out) {
+  const graph::NodeId n = graph_->node_count();
+  if (best.plane_size() < n || best.lane_capacity() < 1) {
+    throw std::invalid_argument(
+        "Network::step_lanes_max_active: best too small");
+  }
+  step_lanes_active(tx, payload, out, /*with_senders=*/false);
+  for (const auto& d : sparse_scratch_.deliveries) {
+    Payload& b = best.at(0, d.node);
     if (b == kNoPayload || d.payload > b) b = d.payload;
   }
 }

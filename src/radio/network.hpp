@@ -103,15 +103,22 @@ class Network : public LaneExecutor {
                   PayloadPlanes payload, BatchOutcome& out,
                   bool with_senders = true) override;
 
-  /// Fold variant (see LaneExecutor): deliveries max-combine into best[v].
+  /// Fold variant (see LaneExecutor): deliveries max-combine into
+  /// best.at(0, v) — one lane, so every KnowledgePlanes layout is
+  /// equivalent (vectors/spans adapt implicitly).
   void step_lanes_max(std::span<const std::uint64_t> tx_mask,
-                      PayloadPlanes payload, std::span<Payload> best,
+                      PayloadPlanes payload, KnowledgePlanes best,
                       BatchOutcome& out) override;
 
   /// Sparse variant (see LaneExecutor): entries with lane bit 0 set form
   /// the round's transmitter list.
   void step_lanes_active(std::span<const ActiveTx> tx, PayloadPlanes payload,
                          BatchOutcome& out, bool with_senders = true) override;
+
+  /// Sparse fold variant (see LaneExecutor).
+  void step_lanes_max_active(std::span<const ActiveTx> tx,
+                             PayloadPlanes payload, KnowledgePlanes best,
+                             BatchOutcome& out) override;
 
   Round rounds_elapsed() const { return rounds_; }
   std::uint64_t total_transmissions() const { return total_tx_; }

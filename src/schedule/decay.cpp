@@ -39,7 +39,7 @@ std::uint32_t decay_step_lanes(radio::LaneExecutor& net,
                                std::span<const std::uint64_t> participates,
                                radio::PayloadPlanes payload_of,
                                std::uint32_t step,
-                               std::span<radio::Payload> best,
+                               radio::KnowledgePlanes best,
                                std::span<util::Rng> lane_rng,
                                radio::BatchOutcome& out, bool with_senders) {
   const graph::NodeId n = net.node_count();
@@ -48,16 +48,18 @@ std::uint32_t decay_step_lanes(radio::LaneExecutor& net,
     throw std::invalid_argument(
         "decay_step_lanes: lane_rng size must be in [1, net.lanes()]");
   }
-  if (participates.size() != n ||
-      best.size() != static_cast<std::size_t>(lanes) * n) {
+  if (participates.size() != n || best.plane_size() != n ||
+      lanes > best.lane_capacity()) {
     throw std::invalid_argument("decay_step_lanes: plane size mismatch");
   }
   const std::size_t blocks = (static_cast<std::size_t>(n) + 63) / 64;
 
   static thread_local std::vector<std::uint64_t> coin;
   static thread_local std::vector<std::uint64_t> tx_mask;
+  static thread_local std::vector<radio::ActiveTx> active;
   coin.resize(blocks * static_cast<std::size_t>(lanes));
   tx_mask.resize(n);
+  active.clear();
 
   // Per lane, per block: draw the coin words, block order, so the stream
   // consumption matches a standalone 1-lane run of the same lane.
@@ -70,6 +72,7 @@ std::uint32_t decay_step_lanes(radio::LaneExecutor& net,
   if (lanes == 1) {
     for (graph::NodeId v = 0; v < n; ++v) {
       tx_mask[v] = participates[v] & (coin[v >> 6] >> (v & 63)) & 1;
+      if (tx_mask[v] != 0) active.push_back({v, tx_mask[v]});
     }
   } else {
     // Coin words are node-indexed per lane; the transmit mask is
@@ -94,19 +97,36 @@ std::uint32_t decay_step_lanes(radio::LaneExecutor& net,
       radio::simd::transpose64(w);
       for (graph::NodeId v = base; v < hi; ++v) {
         tx_mask[v] = participates[v] & w[static_cast<std::size_t>(63 - (v - base))];
+        if (tx_mask[v] != 0) active.push_back({v, tx_mask[v]});
       }
     }
   }
 
+  // Deep Decay steps are sparse by construction (2^-step participation):
+  // when few nodes transmit, route through the sparse entry points so the
+  // frontier backend resolves the step in O(active work). The dense-mask
+  // scan above already happened (the coin stream must stay a pure function
+  // of the draw history), so this only moves the medium-side cost; the
+  // active list is built in increasing node order and the dense adapters
+  // pin outcome equality, so results are byte-identical on every backend.
+  const bool sparse =
+      static_cast<std::uint64_t>(active.size()) * 16 <= n;
   if (with_senders) {
-    net.step_lanes(tx_mask, payload_of, out, /*with_senders=*/true);
+    if (sparse) {
+      net.step_lanes_active(active, payload_of, out, /*with_senders=*/true);
+    } else {
+      net.step_lanes(tx_mask, payload_of, out, /*with_senders=*/true);
+    }
     for (const auto& d : out.deliveries) {
-      radio::Payload& b =
-          best[static_cast<std::size_t>(d.lane) * n + d.node];
+      radio::Payload& b = best.at(d.lane, d.node);
       if (b == radio::kNoPayload || d.payload > b) b = d.payload;
     }
   } else {
-    net.step_lanes_max(tx_mask, payload_of, best, out);
+    if (sparse) {
+      net.step_lanes_max_active(active, payload_of, best, out);
+    } else {
+      net.step_lanes_max(tx_mask, payload_of, best, out);
+    }
   }
   std::uint32_t delivered = 0;
   for (int l = 0; l < lanes; ++l) delivered += out.delivered_count[l];
@@ -116,7 +136,7 @@ std::uint32_t decay_step_lanes(radio::LaneExecutor& net,
 std::uint32_t decay_round_lanes(radio::LaneExecutor& net,
                                 std::span<const std::uint64_t> participates,
                                 radio::PayloadPlanes payload_of,
-                                std::span<radio::Payload> best,
+                                radio::KnowledgePlanes best,
                                 std::span<util::Rng> lane_rng,
                                 radio::BatchOutcome& out) {
   const std::uint32_t steps = decay_round_length(net.node_count());

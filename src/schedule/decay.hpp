@@ -43,21 +43,25 @@ std::uint32_t decay_round_length(std::uint32_t n);
 /// Bit l of participates[v] marks v as running Decay in lane l; each
 /// participant transmits its lane's payload_of value with probability
 /// 2^-step (coins from lane_rng[l], see the coin-scheme note above).
-/// `best` is the lane-major knowledge plane (entry lane * n + v), updated
-/// with the maximum received value. `out` is caller-owned scratch holding
-/// the round's delivered masks and counters on return. lane_rng.size()
-/// selects the lane count; it must not exceed net.lanes(), and best must
-/// hold lane_rng.size() * node_count entries. By default deliveries fold
-/// into `best` through the executor's step_lanes_max (no per-delivery
-/// records — the fast path); pass with_senders = true to materialize
-/// out.deliveries (sender + payload per delivery) for consumers that need
-/// to know who delivered, at the cost of building those records. Returns
-/// the number of deliveries summed over lanes either way.
+/// `best` is the knowledge-plane view (any KnowledgePlanes layout; the
+/// batched cores use node-major), updated with the maximum received value.
+/// `out` is caller-owned scratch holding the round's delivered masks and
+/// counters on return. lane_rng.size() selects the lane count; it must not
+/// exceed net.lanes(), and best must cover node_count nodes x that many
+/// lanes. By default deliveries fold into `best` through the executor's
+/// step_lanes_max (no per-delivery records — the fast path); pass
+/// with_senders = true to materialize out.deliveries (sender + payload per
+/// delivery) for consumers that need to know who delivered, at the cost of
+/// building those records. Deep steps with few transmitters route through
+/// the sparse step_lanes_(max_)active entry points, so tail rounds cost
+/// O(active work) on the frontier backend — outcomes are identical either
+/// way (the coin stream never depends on the path taken). Returns the
+/// number of deliveries summed over lanes either way.
 std::uint32_t decay_step_lanes(radio::LaneExecutor& net,
                                std::span<const std::uint64_t> participates,
                                radio::PayloadPlanes payload_of,
                                std::uint32_t step,
-                               std::span<radio::Payload> best,
+                               radio::KnowledgePlanes best,
                                std::span<util::Rng> lane_rng,
                                radio::BatchOutcome& out,
                                bool with_senders = false);
@@ -67,7 +71,7 @@ std::uint32_t decay_step_lanes(radio::LaneExecutor& net,
 std::uint32_t decay_round_lanes(radio::LaneExecutor& net,
                                 std::span<const std::uint64_t> participates,
                                 radio::PayloadPlanes payload_of,
-                                std::span<radio::Payload> best,
+                                radio::KnowledgePlanes best,
                                 std::span<util::Rng> lane_rng,
                                 radio::BatchOutcome& out);
 

@@ -558,14 +558,15 @@ TEST(MediumBackends, RecoveryStrategyDifferential) {
             std::vector<Payload> got_best(
                 static_cast<std::size_t>(lanes) * n, kNoPayload);
             BatchOutcome fold_out;
-            medium->resolve_batch_max(tx_mask,
-                                      PayloadPlanes::lane_major(planes, n),
-                                      lanes, got_best, fold_out);
+            medium->resolve_batch_max(
+                tx_mask, PayloadPlanes::lane_major(planes, n), lanes,
+                KnowledgePlanes::lane_major(got_best, n), fold_out);
             BatchOutcome shared_out;
             std::vector<Payload> shared_best(
                 static_cast<std::size_t>(lanes) * n, kNoPayload);
-            medium->resolve_batch_max(tx_mask, shared, lanes, shared_best,
-                                      shared_out);
+            medium->resolve_batch_max(
+                tx_mask, shared, lanes,
+                KnowledgePlanes::lane_major(shared_best, n), shared_out);
             if (!have_want) {
               want = got;
               want.deliveries = sorted(want.deliveries);
@@ -653,7 +654,8 @@ TEST(MediumBackends, RecoveryStrategyPinsThePath) {
   const std::vector<Payload> shared(n, 9);
   std::vector<Payload> best(static_cast<std::size_t>(64) * n, kNoPayload);
   BatchOutcome out;
-  medium->resolve_batch_max(tx_mask, shared, 64, best, out);
+  medium->resolve_batch_max(tx_mask, shared, 64,
+                            KnowledgePlanes::lane_major(best, n), out);
   EXPECT_EQ(medium->phase_timers().constfold_rounds, 1u);
   EXPECT_EQ(medium->phase_timers().rowscan_rounds, 0u);
   EXPECT_EQ(medium->phase_timers().idplane_rounds, 0u);

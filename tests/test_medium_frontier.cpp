@@ -98,7 +98,9 @@ void check_against_scalar(const Graph& g, CollisionModel model, int lanes,
   std::vector<Payload> got_best(static_cast<std::size_t>(lanes) * n,
                                 kNoPayload);
   BatchOutcome fold_out;
-  medium->resolve_batch_max(tx_mask, payload, lanes, got_best, fold_out);
+  medium->resolve_batch_max(tx_mask, payload, lanes,
+                            KnowledgePlanes::lane_major(got_best, n),
+                            fold_out);
   EXPECT_EQ(got_best, std::vector<Payload>(want_best.begin(), want_best.end()))
       << ctx;  // byte-identical planes
   EXPECT_EQ(delivered_masks(fold_out, n), delivered_masks(want, n)) << ctx;
@@ -137,7 +139,9 @@ TEST(MediumFrontier, DifferentialAgainstAllBackends) {
           BatchOutcome want_fold;
           scalar->resolve_batch_max(tx_mask,
                                     PayloadPlanes::lane_major(planes, n),
-                                    lanes, want_best, want_fold);
+                                    lanes,
+                                    KnowledgePlanes::lane_major(want_best, n),
+                                    want_fold);
           for (const MediumKind kind : {MediumKind::kFrontier,
                                         MediumKind::kBitslice,
                                         MediumKind::kSharded}) {
@@ -280,9 +284,12 @@ TEST(MediumFrontier, ResolveBatchActiveMatchesDenseOnAllBackends) {
       std::vector<Payload> got_best(static_cast<std::size_t>(lanes) * n,
                                     kNoPayload);
       BatchOutcome fold_want, fold_got;
-      medium->resolve_batch_max(tx_mask, planes, lanes, want_best, fold_want);
-      medium->resolve_batch_max_active(entries, planes, lanes, got_best,
-                                       fold_got);
+      medium->resolve_batch_max(tx_mask, planes, lanes,
+                                KnowledgePlanes::lane_major(want_best, n),
+                                fold_want);
+      medium->resolve_batch_max_active(
+          entries, planes, lanes, KnowledgePlanes::lane_major(got_best, n),
+          fold_got);
       EXPECT_EQ(got_best, want_best) << ctx;
 
       // Out-of-range nodes must throw on every backend, and the medium
@@ -331,9 +338,10 @@ TEST(MediumFrontier, BatchNetworkStepLanesActive) {
   }
 }
 
-// active_listeners: frontier and scalar agree on the woken-set size (every
-// node with >=1 transmitting neighbour, transmitters included), bitslice
-// agrees on the batch path, and the sharded backend reports 0 by design.
+// active_listeners: every backend agrees on the woken-set size (every
+// node with >=1 transmitting neighbour, transmitters included) — the
+// sharded backend counts per slice and sums in the merge — and bitslice
+// agrees on the batch path too.
 TEST(MediumFrontier, ActiveListenersDiagnostic) {
   util::Rng rng(96);
   const Graph g = graph::gnp(100, 0.08, rng);
@@ -360,21 +368,13 @@ TEST(MediumFrontier, ActiveListenersDiagnostic) {
   }
   ASSERT_GT(want_active, 0u);
 
-  for (const MediumKind kind :
-       {MediumKind::kScalar, MediumKind::kBitslice, MediumKind::kFrontier}) {
-    auto medium = make_medium(kind, g, CollisionModel::kDetection);
+  for (const MediumKind kind : kAllKinds) {
+    auto medium = make_medium(kind, g, CollisionModel::kDetection, 3);
     SparseOutcome out;
     medium->resolve(tx, pay, out);
     EXPECT_EQ(out.active_listeners, want_active) << to_string(kind);
     EXPECT_EQ(medium->phase_timers().active_listeners, want_active)
         << to_string(kind);
-  }
-  {
-    auto sharded = make_medium(MediumKind::kSharded, g,
-                               CollisionModel::kDetection, 3);
-    SparseOutcome out;
-    sharded->resolve(tx, pay, out);
-    EXPECT_EQ(out.active_listeners, 0u);  // documented: not tracked
   }
 
   // Batch path: frontier's queue size == bitslice's emit count, and the
@@ -429,7 +429,8 @@ TEST(MediumFrontier, PhaseTimersAttribution) {
   std::vector<Payload> shared(n, 9);
   std::vector<Payload> best(static_cast<std::size_t>(64) * n, kNoPayload);
   BatchOutcome fold_out;
-  medium->resolve_batch_max(tx_mask, shared, 64, best, fold_out);
+  medium->resolve_batch_max(tx_mask, shared, 64,
+                            KnowledgePlanes::lane_major(best, n), fold_out);
   EXPECT_EQ(medium->phase_timers().constfold_rounds, 1u);
   EXPECT_EQ(medium->phase_timers().rowscan_rounds, 0u);
 }

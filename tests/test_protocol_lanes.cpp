@@ -181,7 +181,7 @@ TEST(ProtocolLanes, DecayRoundLanesMatchesPerLaneScalarRuns) {
   for (int round = 0; round < 3; ++round) {
     batch_delivered += schedule::decay_round_lanes(
         bn, participates, radio::PayloadPlanes::lane_major(payload, n),
-        best_batch, rngs, out);
+        radio::KnowledgePlanes::lane_major(best_batch, n), rngs, out);
   }
 
   // Reference: one scalar Network run per lane with the same seed.
@@ -286,7 +286,8 @@ TEST(ProtocolLanes, DecayWithSendersAgreesAcrossRecoveryStrategies) {
         for (std::uint32_t s = 1; s <= 4; ++s) {
           total += schedule::decay_step_lanes(
               bn, participates, radio::PayloadPlanes::lane_major(payload, n),
-              s, best, rngs, out, /*with_senders=*/true);
+              s, radio::KnowledgePlanes::lane_major(best, n), rngs, out,
+              /*with_senders=*/true);
         }
         bests.push_back(std::move(best));
         delivered.push_back(total);
@@ -316,7 +317,7 @@ TEST(ProtocolLanes, RejectsLaneOverflowAndBadPlanes) {
       schedule::decay_step_lanes(
           bn, participates,
           radio::PayloadPlanes::lane_major(small_planes, g.node_count()), 1,
-          best, rngs, out),
+          radio::KnowledgePlanes::lane_major(best, g.node_count()), rngs, out),
       std::invalid_argument);  // payload planes cover fewer lanes than rngs
 }
 
