@@ -10,16 +10,21 @@
 #include <algorithm>
 #include <array>
 #include <chrono>
+#include <cstdlib>
 #include <exception>
 #include <iostream>
 #include <span>
 #include <string>
 #include <string_view>
 
+#include "exp/checkpoint.hpp"
+#include "exp/fault.hpp"
 #include "radio/medium.hpp"
 #include "sim/runner.hpp"
 #include "sim/scenario.hpp"
 #include "util/cli.hpp"
+#include "util/fsio.hpp"
+#include "util/parse.hpp"
 
 namespace {
 
@@ -90,7 +95,24 @@ void print_usage(const char* program) {
       << "  (--medium/--recovery take comma lists here; family axes are\n"
       << "   --p/--radius/--m/--exp/--d with --pl-deg as the powerlaw\n"
       << "   degree knob; --lanes, --reps, --sources, --max-rounds,\n"
-      << "   --seed scale the grid)\n";
+      << "   --seed scale the grid)\n"
+      << "\n"
+      << "crash safety (sweep; see README \"Crash safety\"):\n"
+      << "  --resume=DIR   finish an interrupted sweep from DIR's journal\n"
+      << "                 (same spec flags; output is byte-identical at\n"
+      << "                 --timing=off to an uninterrupted run)\n"
+      << "  --checkpoint=off\n"
+      << "                 do not write the <out>/sweep.journal task log\n"
+      << "  --task-timeout=MS\n"
+      << "                 per-task watchdog: attempts over budget are\n"
+      << "                 abandoned, retried, then quarantined\n"
+      << "  --retries=K    transient-failure retries per task before the\n"
+      << "                 task is quarantined (default 0)\n"
+      << "  SIGINT/SIGTERM drain gracefully: in-flight tasks finish and\n"
+      << "  journal, then the driver exits 75 (resumable)\n"
+      << "  RADIOCAST_FAULT=kill@<task>|abort@<n>|io-fail@<n>|\n"
+      << "      task-throw@<task>[x<k>]|task-hang@<task>|sigint@<task>\n"
+      << "                 deterministic fault injection for crash tests\n";
 }
 
 }  // namespace
@@ -103,6 +125,22 @@ int main(int argc, char** argv) {
   try {
     const radiocast::util::Cli cli(argc, argv);
     const auto& registry = ScenarioRegistry::global();
+
+    // SIGINT/SIGTERM request a graceful drain (sweep journals in-flight
+    // tasks and exits 75 = resumable); a second signal kills outright.
+    radiocast::exp::install_signal_handlers();
+
+    // RADIOCAST_FAULT arms the deterministic crash/fault harness (see
+    // exp/fault.hpp for the grammar). An invalid value is a hard error —
+    // a typo'd fault test that silently runs clean proves nothing.
+    if (const char* fault = std::getenv("RADIOCAST_FAULT");
+        fault != nullptr && *fault != '\0') {
+      radiocast::exp::FaultInjector::global().configure(
+          radiocast::exp::FaultSpec::parse(fault));
+      radiocast::util::set_io_fault_hook([] {
+        return radiocast::exp::FaultInjector::global().take_io_fault();
+      });
+    }
 
     // Cli's `--flag value` syntax eats a scenario name that follows a bare
     // boolean flag (`--quick decay`); catch the misparse before the
@@ -141,6 +179,18 @@ int main(int argc, char** argv) {
     if (cli.has("recovery") && !is_sweep) (void)ctx.recovery_strategy();
     if (cli.has("medium-threads")) (void)ctx.medium_threads();
     if (cli.has("gen-threads")) (void)ctx.gen_threads();
+    if (cli.has("task-timeout")) {
+      (void)radiocast::util::parse_positive_int(
+          cli.get_string("task-timeout", ""), "--task-timeout");
+    }
+    if (cli.has("retries")) {
+      (void)radiocast::util::parse_uint(cli.get_string("retries", ""),
+                                        "--retries");
+    }
+    if (cli.has("resume") && cli.get_string("resume", "").empty()) {
+      throw std::invalid_argument(
+          "--resume requires the output directory of the interrupted sweep");
+    }
     if (cli.has("out")) ctx.out_dir = cli.get_string("out", "bench_out");
     const auto start = std::chrono::steady_clock::now();
     registry.run(cli.subcommand(), ctx);
@@ -152,6 +202,9 @@ int main(int argc, char** argv) {
     // nothing skip it); the Report sink logs the "[json] path" line.
     (void)ctx.write_json(cli.subcommand(), wall_ms);
     return 0;
+  } catch (const radiocast::exp::ResumableInterrupt& e) {
+    std::cerr << "interrupted: " << e.what() << "\n";
+    return radiocast::exp::kResumableExit;  // 75: resumable, not failed
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;

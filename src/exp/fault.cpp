@@ -1,0 +1,147 @@
+#include "exp/fault.hpp"
+
+#include "exp/checkpoint.hpp"
+#include "util/parse.hpp"
+
+#include <stdexcept>
+
+namespace radiocast::exp {
+
+namespace {
+
+[[noreturn]] void bad_fault(std::string_view text) {
+  throw std::invalid_argument(
+      "RADIOCAST_FAULT '" + std::string(text) +
+      "': expected kill@<task>, abort@<n>, io-fail@<n>, "
+      "task-throw@<task>[x<k>], task-hang@<task>, or sigint@<task>");
+}
+
+}  // namespace
+
+FaultSpec FaultSpec::parse(std::string_view text) {
+  const std::size_t at = text.find('@');
+  if (at == std::string_view::npos || at == 0 || at + 1 >= text.size()) {
+    bad_fault(text);
+  }
+  const std::string_view name = text.substr(0, at);
+  std::string_view arg = text.substr(at + 1);
+
+  FaultSpec spec;
+  if (name == "kill") {
+    spec.kind = Kind::kKill;
+  } else if (name == "abort") {
+    spec.kind = Kind::kAbort;
+  } else if (name == "io-fail") {
+    spec.kind = Kind::kIoFail;
+  } else if (name == "task-throw") {
+    spec.kind = Kind::kTaskThrow;
+  } else if (name == "task-hang") {
+    spec.kind = Kind::kTaskHang;
+  } else if (name == "sigint") {
+    spec.kind = Kind::kSigint;
+  } else {
+    bad_fault(text);
+  }
+
+  if (spec.kind == Kind::kTaskThrow) {
+    const std::size_t x = arg.find('x');
+    if (x != std::string_view::npos) {
+      spec.times = util::parse_positive_int(arg.substr(x + 1),
+                                            "RADIOCAST_FAULT repeat count");
+      arg = arg.substr(0, x);
+    }
+  }
+  if (spec.kind == Kind::kAbort || spec.kind == Kind::kIoFail) {
+    // Operation ordinals are 1-based: "the n-th append/write fails".
+    spec.index = static_cast<std::size_t>(
+        util::parse_positive_int(arg, "RADIOCAST_FAULT operation ordinal"));
+  } else {
+    spec.index = static_cast<std::size_t>(
+        util::parse_uint(arg, "RADIOCAST_FAULT task index"));
+  }
+  return spec;
+}
+
+FaultInjector& FaultInjector::global() {
+  // Leaked on purpose: watchdog-abandoned (task-hang) threads may still
+  // be blocked on hang_cv_ while the process exits, and must never race
+  // a static destructor.
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+void FaultInjector::configure(const FaultSpec& spec) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    spec_ = spec;
+    io_ops_ = 0;
+    appends_ = 0;
+    hang_cancelled_ = false;
+  }
+  hang_cv_.notify_all();
+}
+
+FaultSpec FaultInjector::spec() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spec_;
+}
+
+bool FaultInjector::take_io_fault() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spec_.kind != FaultSpec::Kind::kIoFail) return false;
+  return ++io_ops_ == spec_.index;
+}
+
+bool FaultInjector::abort_on_append() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (spec_.kind != FaultSpec::Kind::kAbort) return false;
+  return ++appends_ == spec_.index;
+}
+
+bool FaultInjector::kill_after_task(std::size_t task_index) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spec_.kind == FaultSpec::Kind::kKill && spec_.index == task_index;
+}
+
+void FaultInjector::on_task_attempt(std::size_t task_index, int attempt) {
+  FaultSpec spec;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    spec = spec_;
+  }
+  switch (spec.kind) {
+    case FaultSpec::Kind::kTaskThrow:
+      if (task_index == spec.index && attempt < spec.times) {
+        throw std::runtime_error(
+            "injected transient task failure (RADIOCAST_FAULT task-throw), "
+            "attempt " + std::to_string(attempt));
+      }
+      break;
+    case FaultSpec::Kind::kTaskHang:
+      if (task_index == spec.index && attempt < spec.times) {
+        std::unique_lock<std::mutex> lock(mu_);
+        hang_cv_.wait(lock, [this] {
+          return hang_cancelled_ || spec_.kind != FaultSpec::Kind::kTaskHang;
+        });
+        // Abort the attempt quickly so a watchdog-abandoned thread
+        // finishes instead of re-running the whole task.
+        throw std::runtime_error("injected hang cancelled");
+      }
+      break;
+    case FaultSpec::Kind::kSigint:
+      if (task_index == spec.index) request_shutdown();
+      break;
+    default:
+      break;
+  }
+}
+
+void FaultInjector::cancel_hangs() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hang_cancelled_ = true;
+  }
+  hang_cv_.notify_all();
+}
+
+}  // namespace radiocast::exp

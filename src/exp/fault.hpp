@@ -1,0 +1,114 @@
+// Deterministic fault injection for the crash-safe sweep harness.
+//
+// RADIOCAST_FAULT turns "what if the process dies here?" into a
+// reproducible test input. The driver parses the knob once at startup
+// and arms the process-wide FaultInjector; the Planner and the
+// Checkpoint journal then consult it at the exact boundaries a real
+// crash would hit:
+//
+//   kill@<task>         _Exit(137) right after task <task>'s journal
+//                       record is fsynced — a SIGKILL at a task boundary.
+//   abort@<n>           on the n-th journal append (1-based), write a
+//                       torn half-record without fsync and _Exit(134) —
+//                       a crash mid-append.
+//   io-fail@<n>         the n-th fsio write operation (journal append or
+//                       report write, 1-based) fails as if the kernel
+//                       returned EIO.
+//   task-throw@<t>[x<k>] task <t> throws on its first k attempts
+//                       (default 1) — a transient failure the retry
+//                       policy should absorb, or quarantine past k.
+//   task-hang@<t>       task <t> blocks until cancel_hangs() — drives
+//                       the watchdog timeout path deterministically.
+//   sigint@<t>          request graceful shutdown while task <t> runs —
+//                       a deterministic SIGINT for drain tests.
+//
+// Exactly one fault per process; parse() rejects anything else.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace radiocast::exp {
+
+/// Exit statuses the crash-safety harness distinguishes.
+/// kResumableExit is EX_TEMPFAIL: the sweep drained gracefully after
+/// SIGINT/SIGTERM and `--resume` will finish it. The fault exits mirror
+/// how a shell reports SIGKILL (128+9) and SIGABRT (128+6) deaths, so
+/// CI scripts can assert the simulated crash looks like a real one.
+inline constexpr int kResumableExit = 75;
+inline constexpr int kFaultKillExit = 137;
+inline constexpr int kFaultAbortExit = 134;
+
+/// One parsed RADIOCAST_FAULT directive.
+struct FaultSpec {
+  enum class Kind {
+    kNone,
+    kKill,       // kill@<task>
+    kAbort,      // abort@<n>
+    kIoFail,     // io-fail@<n>
+    kTaskThrow,  // task-throw@<task>[x<k>]
+    kTaskHang,   // task-hang@<task>
+    kSigint,     // sigint@<task>
+  };
+
+  Kind kind = Kind::kNone;
+  /// Task index (0-based) for kill/task-*/sigint; operation ordinal
+  /// (1-based) for abort/io-fail.
+  std::size_t index = 0;
+  /// task-throw only: number of consecutive failing attempts.
+  int times = 1;
+
+  /// Strict parse of the RADIOCAST_FAULT grammar above; throws
+  /// std::invalid_argument (listing the grammar) on anything else.
+  static FaultSpec parse(std::string_view text);
+};
+
+/// Process-wide injection point. Disarmed (Kind::kNone) by default; the
+/// bench driver arms it from RADIOCAST_FAULT before the sweep starts,
+/// and tests arm it directly. All methods are thread-safe.
+class FaultInjector {
+ public:
+  static FaultInjector& global();
+
+  /// Arms `spec` and resets all counters and hang-cancel state.
+  void configure(const FaultSpec& spec);
+  FaultSpec spec() const;
+
+  /// fsio hook body (io-fail@): counts one write operation, true when
+  /// this one is the injected failure.
+  bool take_io_fault();
+
+  /// Journal-append hook (abort@): counts one append, true when the
+  /// caller must tear this record and die with kFaultAbortExit.
+  bool abort_on_append();
+
+  /// kill@: true right after `task_index`'s record is durable — the
+  /// caller must _Exit(kFaultKillExit) without touching the journal
+  /// again.
+  bool kill_after_task(std::size_t task_index) const;
+
+  /// Called by the Planner at the start of every task attempt
+  /// (0-based `attempt`): task-throw throws std::runtime_error,
+  /// task-hang blocks until cancel_hangs(), sigint@ requests graceful
+  /// shutdown.
+  void on_task_attempt(std::size_t task_index, int attempt);
+
+  /// Wakes any task-hang blockers (they abort their attempt by
+  /// throwing). Tests call this so watchdog-abandoned threads finish.
+  void cancel_hangs();
+
+ private:
+  FaultInjector() = default;
+
+  mutable std::mutex mu_;
+  FaultSpec spec_;
+  std::size_t io_ops_ = 0;
+  std::size_t appends_ = 0;
+  bool hang_cancelled_ = false;
+  std::condition_variable hang_cv_;
+};
+
+}  // namespace radiocast::exp

@@ -1,11 +1,19 @@
 #include "exp/planner.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <chrono>
-#include <cmath>
+#include <future>
 #include <memory>
+#include <optional>
 #include <stdexcept>
+#include <thread>
 #include <unordered_map>
+
+#include <cmath>
+
+#include "exp/checkpoint.hpp"
+#include "exp/fault.hpp"
 
 #include "core/broadcast.hpp"
 #include "core/compete_batched.hpp"
@@ -216,33 +224,6 @@ std::vector<core::CompeteSource> make_sources(const Job& job,
   return sources;
 }
 
-/// One replication's outcome inside a task.
-struct LaneOutcome {
-  bool success = false;
-  double rounds = 0.0;
-  double informed = Accumulator::kAbsent;
-  double deliveries = Accumulator::kAbsent;
-  double transmissions = Accumulator::kAbsent;
-};
-
-/// One executed (job, lane-batch) unit.
-struct TaskOut {
-  std::vector<LaneOutcome> lanes;
-  radio::PhaseTimers phases;
-  double wall_ms = 0.0;
-  /// Time this task spent generating its own instance (0 when it ran on a
-  /// cached one).
-  std::uint64_t gen_ns = 0;
-  std::uint32_t n_actual = 0;
-  std::uint32_t diameter = 0;
-};
-
-struct Task {
-  int job = 0;
-  int first_rep = 0;
-  int count = 0;
-};
-
 std::uint64_t now_ns() {
   return static_cast<std::uint64_t>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
@@ -254,9 +235,9 @@ std::uint64_t now_ns() {
 /// here (cache off) and report the cost in out.gen_ns. Either way wall_ms
 /// covers the protocol replications only — generation cost is accounted
 /// separately so the two are comparable across cache modes.
-TaskOut run_task(const Job& job, int first_rep, int count,
-                 const sim::Instance* shared, int gen_threads) {
-  TaskOut out;
+TaskOutcome run_task(const Job& job, int first_rep, int count,
+                     const sim::Instance* shared, int gen_threads) {
+  TaskOutcome out;
   sim::Instance local;
   if (shared == nullptr) {
     const std::uint64_t g0 = now_ns();
@@ -339,13 +320,77 @@ struct BuiltInstance {
   std::uint64_t gen_ns = 0;
 };
 
+/// One task attempt, optionally under the watchdog. The worker thread
+/// captures the Job by VALUE and the instance by shared_ptr: a timed-out
+/// attempt is abandoned (detached), and must never dangle into Planner
+/// locals that the rest of the run goes on to destroy.
+TaskOutcome attempt_task(const Job& job, const TaskRef& task,
+                         std::shared_ptr<const sim::Instance> shared,
+                         int gen_threads, std::size_t task_index, int attempt,
+                         int timeout_ms) {
+  if (timeout_ms <= 0) {
+    FaultInjector::global().on_task_attempt(task_index, attempt);
+    return run_task(job, task.first_rep, task.count, shared.get(),
+                    gen_threads);
+  }
+  auto promise = std::make_shared<std::promise<TaskOutcome>>();
+  auto future = promise->get_future();
+  std::thread worker([promise, job, task, shared = std::move(shared),
+                      gen_threads, task_index, attempt] {
+    try {
+      FaultInjector::global().on_task_attempt(task_index, attempt);
+      promise->set_value(run_task(job, task.first_rep, task.count,
+                                  shared.get(), gen_threads));
+    } catch (...) {
+      promise->set_exception(std::current_exception());
+    }
+  });
+  if (future.wait_for(std::chrono::milliseconds(timeout_ms)) ==
+      std::future_status::ready) {
+    worker.join();
+    return future.get();
+  }
+  worker.detach();
+  throw std::runtime_error("watchdog: task attempt still running after " +
+                           std::to_string(timeout_ms) + "ms");
+}
+
+/// Retry/quarantine policy around attempt_task. Config errors
+/// (invalid_argument/logic_error — unknown family, bad protocol) rethrow
+/// immediately: retrying cannot fix them and quarantining would hide
+/// them. Everything else (protocol runtime failures, watchdog timeouts,
+/// injected transient faults) is retried with exponential backoff, then
+/// quarantined.
+TaskOutcome execute_guarded(const Job& job, const TaskRef& task,
+                            const std::shared_ptr<const sim::Instance>& shared,
+                            const Planner::Options& options,
+                            std::size_t task_index) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return attempt_task(job, task, shared, options.gen_threads, task_index,
+                          attempt, options.task_timeout_ms);
+    } catch (const std::logic_error&) {
+      throw;
+    } catch (const std::exception& e) {
+      if (attempt < options.retries) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            std::min(1000, 25 << std::min(attempt, 5))));
+        continue;
+      }
+      TaskOutcome out;
+      out.quarantined = true;
+      out.error = e.what();
+      return out;
+    }
+  }
+}
+
 }  // namespace
 
-std::vector<PointResult> Planner::run(std::span<const Job> jobs,
-                                      sim::Runner& runner) const {
+std::vector<TaskRef> flatten_tasks(std::span<const Job> jobs) {
   // Flatten jobs into (job, lane-batch) tasks so small per-job batch
   // counts still saturate the pool across the whole grid.
-  std::vector<Task> tasks;
+  std::vector<TaskRef> tasks;
   for (std::size_t j = 0; j < jobs.size(); ++j) {
     const Job& job = jobs[j];
     for (int first = 0; first < job.reps; first += job.lane_width) {
@@ -353,14 +398,46 @@ std::vector<PointResult> Planner::run(std::span<const Job> jobs,
                        std::min(job.lane_width, job.reps - first)});
     }
   }
+  return tasks;
+}
+
+std::vector<PointResult> Planner::run(std::span<const Job> jobs,
+                                      sim::Runner& runner) const {
+  RunOutcome outcome = run_durable(jobs, runner, nullptr);
+  if (outcome.interrupted) {
+    throw ResumableInterrupt(
+        "sweep interrupted before completion (resume to finish)");
+  }
+  if (!outcome.quarantined.empty()) {
+    const QuarantinedTask& q = outcome.quarantined.front();
+    throw std::runtime_error(q.job_label + ": " + q.error);
+  }
+  return std::move(outcome.points);
+}
+
+RunOutcome Planner::run_durable(std::span<const Job> jobs,
+                                sim::Runner& runner,
+                                Checkpoint* checkpoint) const {
+  const std::vector<TaskRef> tasks = flatten_tasks(jobs);
+  RunOutcome outcome;
+  outcome.tasks_total = tasks.size();
+
+  // Resume: tasks the journal already holds are replayed, not re-run.
+  std::vector<char> pending(tasks.size(), 1);
+  if (checkpoint != nullptr) {
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      if (checkpoint->completed(t)) pending[t] = 0;
+    }
+  }
 
   // Instance cache: deduplicate jobs by instance identity, build each
   // unique instance ONCE (over the runner pool; the pargen chunk scheme
   // additionally parallelises inside a build), and hand every task a
   // shared_ptr. Grids where only execution axes or replication batches
-  // vary regenerate nothing. All unique instances stay resident for the
-  // run — the cost profile the million-node acceptance sweep wants (one
-  // point at a time dominates memory anyway).
+  // vary regenerate nothing — and a resumed sweep builds ONLY the
+  // instances its still-pending tasks touch. All built instances stay
+  // resident for the run — the cost profile the million-node acceptance
+  // sweep wants (one point at a time dominates memory anyway).
   std::vector<int> job_instance(jobs.size(), -1);
   std::vector<int> representative;  // unique instance -> first job index
   std::vector<BuiltInstance> built;
@@ -372,39 +449,98 @@ std::vector<PointResult> Planner::run(std::span<const Job> jobs,
       if (inserted) representative.push_back(static_cast<int>(j));
       job_instance[j] = it->second;
     }
-    auto builds =
-        runner.map(static_cast<int>(representative.size()), [&](int i) {
-          const std::uint64_t g0 = now_ns();
-          auto instance = std::make_shared<const sim::Instance>(build_instance(
-              jobs[static_cast<std::size_t>(
-                  representative[static_cast<std::size_t>(i)])],
-              options_.gen_threads));
-          return BuiltInstance{std::move(instance), now_ns() - g0};
-        });
-    built = std::move(builds);
+    built.resize(representative.size());
+    std::vector<int> to_build;
+    {
+      std::vector<char> needed(representative.size(), 0);
+      for (std::size_t t = 0; t < tasks.size(); ++t) {
+        if (pending[t] != 0) {
+          needed[static_cast<std::size_t>(
+              job_instance[static_cast<std::size_t>(tasks[t].job)])] = 1;
+        }
+      }
+      for (std::size_t i = 0; i < representative.size(); ++i) {
+        if (needed[i] != 0) to_build.push_back(static_cast<int>(i));
+      }
+    }
+    auto builds = runner.map(static_cast<int>(to_build.size()), [&](int b) {
+      const auto inst = static_cast<std::size_t>(
+          to_build[static_cast<std::size_t>(b)]);
+      const std::uint64_t g0 = now_ns();
+      auto instance = std::make_shared<const sim::Instance>(build_instance(
+          jobs[static_cast<std::size_t>(
+              representative[inst])],
+          options_.gen_threads));
+      return BuiltInstance{std::move(instance), now_ns() - g0};
+    });
+    for (std::size_t b = 0; b < to_build.size(); ++b) {
+      built[static_cast<std::size_t>(to_build[b])] = std::move(builds[b]);
+    }
   }
 
-  const auto outs = runner.map(static_cast<int>(tasks.size()), [&](int t) {
-    const Task& task = tasks[static_cast<std::size_t>(t)];
-    const sim::Instance* shared =
-        options_.cache
-            ? built[static_cast<std::size_t>(
-                        job_instance[static_cast<std::size_t>(task.job)])]
-                  .instance.get()
-            : nullptr;
-    return run_task(jobs[static_cast<std::size_t>(task.job)], task.first_rep,
-                    task.count, shared, options_.gen_threads);
-  });
+  // Execute the pending tasks. Each worker checks the drain flag before
+  // STARTING a task (in-flight tasks always finish and journal — that is
+  // the graceful part), quarantines through execute_guarded, and records
+  // into the journal before the task counts as done.
+  std::vector<std::optional<TaskOutcome>> outs(tasks.size());
+  if (checkpoint != nullptr) {
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      if (pending[t] == 0) outs[t] = *checkpoint->outcome(t);
+    }
+  }
+  std::vector<int> pending_list;
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    if (pending[t] != 0) pending_list.push_back(static_cast<int>(t));
+  }
+  auto executed = runner.map(
+      static_cast<int>(pending_list.size()),
+      [&](int i) -> std::optional<TaskOutcome> {
+        const auto t = static_cast<std::size_t>(
+            pending_list[static_cast<std::size_t>(i)]);
+        if (shutdown_requested()) return std::nullopt;
+        const TaskRef& task = tasks[t];
+        std::shared_ptr<const sim::Instance> shared =
+            options_.cache ? built[static_cast<std::size_t>(job_instance[
+                                 static_cast<std::size_t>(task.job)])]
+                                 .instance
+                           : nullptr;
+        TaskOutcome out = execute_guarded(
+            jobs[static_cast<std::size_t>(task.job)], task, shared, options_,
+            t);
+        if (checkpoint != nullptr) checkpoint->record(t, out);
+        return out;
+      });
+  for (std::size_t i = 0; i < pending_list.size(); ++i) {
+    const auto t = static_cast<std::size_t>(pending_list[i]);
+    if (executed[i].has_value()) {
+      outs[t] = std::move(executed[i]);
+      ++outcome.tasks_run;
+    } else {
+      outcome.interrupted = true;
+    }
+  }
+  outcome.tasks_replayed = tasks.size() - pending_list.size();
 
   // Fold strictly in task order: the accumulators (and therefore every
-  // emitted statistic) are independent of how the map was scheduled.
-  std::vector<PointResult> results(jobs.size());
+  // emitted statistic) are independent of how the map was scheduled AND
+  // of how many earlier runs contributed journal records. Quarantined
+  // tasks contribute nothing to the statistics — they surface in the
+  // quarantine list instead.
+  outcome.points.resize(jobs.size());
   for (std::size_t j = 0; j < jobs.size(); ++j) {
-    results[j].job = jobs[j];
+    outcome.points[j].job = jobs[j];
   }
   for (std::size_t t = 0; t < tasks.size(); ++t) {
-    const TaskOut& out = outs[t];
-    PointResult& point = results[static_cast<std::size_t>(tasks[t].job)];
+    if (!outs[t].has_value()) continue;  // drained before start
+    const TaskOutcome& out = *outs[t];
+    const TaskRef& task = tasks[t];
+    if (out.quarantined) {
+      outcome.quarantined.push_back(
+          {t, jobs[static_cast<std::size_t>(task.job)].label(),
+           task.first_rep, task.count, out.error});
+      continue;
+    }
+    PointResult& point = outcome.points[static_cast<std::size_t>(task.job)];
     point.n_actual = out.n_actual;
     point.diameter = out.diameter;
     point.gen.gen_ns += out.gen_ns;
@@ -417,16 +553,18 @@ std::vector<PointResult> Planner::run(std::span<const Job> jobs,
   }
 
   // Hit/miss attribution is STATIC — derived from the deterministic task
-  // list, not from which worker touched the cache first — so the counters
-  // are byte-stable across thread counts: the first task (in task order)
-  // of each unique instance is the miss, every later task a hit.
+  // list, not from which worker touched the cache first (or which run a
+  // record came from) — so the counters are byte-stable across thread
+  // counts and resume boundaries: the first task (in task order) of each
+  // unique instance is the miss, every later task a hit.
   if (options_.cache) {
     std::vector<bool> missed(built.size(), false);
-    for (const Task& task : tasks) {
+    for (const TaskRef& task : tasks) {
       const auto inst =
           static_cast<std::size_t>(job_instance[static_cast<std::size_t>(
               task.job)]);
-      PointResult& point = results[static_cast<std::size_t>(task.job)];
+      PointResult& point =
+          outcome.points[static_cast<std::size_t>(task.job)];
       if (!missed[inst]) {
         missed[inst] = true;
         ++point.gen.cache_misses;
@@ -435,21 +573,24 @@ std::vector<PointResult> Planner::run(std::span<const Job> jobs,
       }
     }
     for (std::size_t j = 0; j < jobs.size(); ++j) {
-      results[j].gen.gen_ns =
+      outcome.points[j].gen.gen_ns =
           built[static_cast<std::size_t>(job_instance[j])].gen_ns;
     }
   } else {
     // Cache off: every task built its own instance; each build is a miss.
-    for (const Task& task : tasks) {
-      ++results[static_cast<std::size_t>(task.job)].gen.cache_misses;
+    for (const TaskRef& task : tasks) {
+      ++outcome.points[static_cast<std::size_t>(task.job)].gen.cache_misses;
     }
   }
 
-  for (PointResult& point : results) {
+  for (PointResult& point : outcome.points) {
+    // A point whose every batch was quarantined or drained never
+    // materialised an instance; bounds over n = 0 are meaningless.
+    if (point.n_actual == 0) continue;
     point.acc.set_theory_bound(theory_bound(
         point.job.protocol, point.n_actual, point.diameter, point.job.sources));
   }
-  return results;
+  return outcome;
 }
 
 }  // namespace radiocast::exp

@@ -16,6 +16,7 @@
 // gives single scenarios.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -31,6 +32,8 @@ class Runner;
 }
 
 namespace radiocast::exp {
+
+class Checkpoint;
 
 /// One grid point, fully determined by the spec: running a Job twice (any
 /// thread count, any machine) yields identical protocol outcomes.
@@ -103,6 +106,44 @@ sim::Instance build_instance(const Job& job, int gen_threads = 0);
 double theory_bound(const std::string& protocol, std::uint32_t n,
                     std::uint32_t diameter, int sources);
 
+/// One (job, lane-batch) execution unit. A task's index in the
+/// flatten_tasks() vector IS its durable identity — the checkpoint
+/// journal records task indices, so the flattening must stay a pure
+/// function of the job list.
+struct TaskRef {
+  int job = 0;
+  int first_rep = 0;
+  int count = 0;
+};
+
+/// Flattens jobs into lane-batch tasks in job order (deterministic; the
+/// task list every Planner entry point and the journal share).
+std::vector<TaskRef> flatten_tasks(std::span<const Job> jobs);
+
+/// A poisoned task: every attempt failed, so the grid recorded the
+/// failing coordinate and moved on instead of dying or hanging.
+struct QuarantinedTask {
+  std::size_t task = 0;
+  std::string job_label;
+  int first_rep = 0;
+  int count = 0;
+  std::string error;
+};
+
+/// What a durable run produced beyond the points themselves.
+struct RunOutcome {
+  std::vector<PointResult> points;
+  std::vector<QuarantinedTask> quarantined;
+  std::size_t tasks_total = 0;
+  /// Tasks replayed from the checkpoint journal instead of re-executed.
+  std::size_t tasks_replayed = 0;
+  std::size_t tasks_run = 0;
+  /// Graceful drain: a shutdown request stopped the run before every
+  /// task was done. Completed work is journaled; reports must NOT be
+  /// written (they would be partial).
+  bool interrupted = false;
+};
+
 class Planner {
  public:
   struct Options {
@@ -115,6 +156,14 @@ class Planner {
     /// cache-correctness tests and A/B cost measurements; outcomes (and,
     /// with timing off, report bytes) are identical either way.
     bool cache = true;
+    /// Per-task watchdog: a task attempt exceeding this wall budget is
+    /// abandoned and treated as a transient failure (retried, then
+    /// quarantined). 0 disables the watchdog.
+    int task_timeout_ms = 0;
+    /// Transient-failure retries per task before quarantine, with
+    /// exponential backoff. Config errors (std::invalid_argument /
+    /// std::logic_error) are never retried — they rethrow immediately.
+    int retries = 0;
   };
 
   Planner() = default;
@@ -122,9 +171,22 @@ class Planner {
 
   /// Runs every job's replications over the runner pool; results are
   /// byte-identical for any runner thread count. Throws what the protocol
-  /// cores throw (first task error wins, like Runner::map).
+  /// cores throw (first task error wins, like Runner::map — quarantined
+  /// tasks rethrow their recorded error here, and a graceful-shutdown
+  /// drain rethrows as ResumableInterrupt).
   std::vector<PointResult> run(std::span<const Job> jobs,
                                sim::Runner& runner) const;
+
+  /// The crash-safe entry point behind `sweep`: honors a shutdown
+  /// request between tasks (drains in-flight work, leaves the rest
+  /// pending), journals every completed task into `checkpoint` (nullable
+  /// = no journaling), skips tasks the journal already holds, applies
+  /// the watchdog/retry/quarantine policy, and consults the process
+  /// fault injector at every task boundary. The folded points are
+  /// byte-identical to an uninterrupted run whenever
+  /// outcome.interrupted is false.
+  RunOutcome run_durable(std::span<const Job> jobs, sim::Runner& runner,
+                         Checkpoint* checkpoint) const;
 
  private:
   Options options_;

@@ -1,24 +1,35 @@
 #include "exp/report.hpp"
 
 #include <filesystem>
-#include <fstream>
 #include <ostream>
+#include <stdexcept>
+
+#include "util/fsio.hpp"
 
 namespace radiocast::exp {
 
 namespace {
 
-/// Resolves <out_dir>/<filename>, creating the directory; "" + a logged
-/// error on failure.
+/// Resolves <out_dir>/<filename>, creating the directory; throws on
+/// failure (an unwritable report directory is a run-fatal condition).
 std::string prepare_path(const std::string& out_dir,
-                         const std::string& filename, std::ostream& log) {
+                         const std::string& filename) {
   std::error_code ec;
   std::filesystem::create_directories(out_dir, ec);
   if (ec) {
-    log << "[out] cannot create " << out_dir << ": " << ec.message() << "\n";
-    return "";
+    throw std::runtime_error("report: cannot create " + out_dir + ": " +
+                             ec.message());
   }
   return (std::filesystem::path(out_dir) / filename).string();
+}
+
+/// Atomic durable write shared by both emitters; throws so a failed
+/// report surfaces as a nonzero driver exit instead of a log line.
+void commit_file(const std::string& path, std::string_view content) {
+  std::string error;
+  if (!util::atomic_write_file(path, content, error)) {
+    throw std::runtime_error("report: cannot write " + path + ": " + error);
+  }
 }
 
 }  // namespace
@@ -27,12 +38,8 @@ std::string Report::write_csv(const std::string& name,
                               const util::Table& table,
                               std::ostream& log) const {
   if (!enabled()) return "";
-  const std::string path = prepare_path(out_dir_, name + ".csv", log);
-  if (path.empty()) return "";
-  if (!table.write_csv(path)) {
-    log << "[csv] cannot write " << path << "\n";
-    return "";
-  }
+  const std::string path = prepare_path(out_dir_, name + ".csv");
+  commit_file(path, table.to_csv());
   log << "[csv] " << path << "\n";
   return path;
 }
@@ -42,14 +49,8 @@ std::string Report::write_json(const std::string& name, util::Json payload,
   if (!enabled()) return "";
   util::Json document = std::move(payload);
   document.prepend("version", kSchemaVersion);
-  const std::string path = prepare_path(out_dir_, name + ".json", log);
-  if (path.empty()) return "";
-  std::ofstream f(path);
-  if (!f) {
-    log << "[json] cannot write " << path << "\n";
-    return "";
-  }
-  f << document.dump(2);
+  const std::string path = prepare_path(out_dir_, name + ".json");
+  commit_file(path, document.dump(2));
   log << "[json] " << path << "\n";
   return path;
 }
@@ -199,10 +200,24 @@ PointMeta point_meta(const PointResult& point) {
 }
 
 util::Json sweep_json(const SweepSpec& spec,
-                      const std::vector<PointResult>& results, bool timing) {
+                      const std::vector<PointResult>& results, bool timing,
+                      const std::vector<QuarantinedTask>* quarantined) {
   util::Json j = util::Json::object();
   j.set("kind", "sweep");
   j.set("spec", spec.to_json());
+  if (quarantined != nullptr && !quarantined->empty()) {
+    util::Json list = util::Json::array();
+    for (const QuarantinedTask& q : *quarantined) {
+      util::Json entry = util::Json::object();
+      entry.set("task", util::json_uint(q.task));
+      entry.set("job", q.job_label);
+      entry.set("first_rep", q.first_rep);
+      entry.set("reps", q.count);
+      entry.set("error", q.error);
+      list.push_back(std::move(entry));
+    }
+    j.set("quarantined", std::move(list));
+  }
   if (timing) {
     // Grid-wide instance-cache rollup: one glance says whether generation
     // was amortised (hits) or on the critical path (misses).

@@ -33,21 +33,30 @@ inline constexpr int kSchemaVersion = 2;
 
 class Report {
  public:
-  /// `out_dir` empty disables all file output (write_* return "").
+  /// `out_dir` empty constructs a DISABLED report: write_* return ""
+  /// without touching the filesystem. Callers that require durable
+  /// output (the sweep checkpoint path) must check enabled() up front
+  /// instead of discovering "" afterwards.
   explicit Report(std::string out_dir) : out_dir_(std::move(out_dir)) {}
 
   bool enabled() const { return !out_dir_.empty(); }
+  const std::string& out_dir() const { return out_dir_; }
 
-  /// Writes <out_dir>/<name>.csv; logs "[csv] path" (or the error) to
-  /// `log`. Returns the path, or "" when disabled/failed.
+  /// Writes <out_dir>/<name>.csv atomically (<path>.tmp + fsync +
+  /// rename — a crash never leaves a torn report); logs "[csv] path" to
+  /// `log`. Returns the path, or "" when disabled. THROWS
+  /// std::runtime_error on I/O failure: a report the harness claims to
+  /// have written must exist, so failures surface as a nonzero driver
+  /// exit, not a log line.
   std::string write_csv(const std::string& name, const util::Table& table,
                         std::ostream& log) const;
 
-  /// Writes <out_dir>/<name>.json. `payload` must be an object; a
-  /// "version": kSchemaVersion field is prepended (an existing "version"
-  /// member is overridden). Taken by value — move it in; large sweep
-  /// documents are stamped in place, not cloned. Logs "[json] path" (or
-  /// the error) to `log`.
+  /// Writes <out_dir>/<name>.json atomically (same contract as
+  /// write_csv). `payload` must be an object; a "version": kSchemaVersion
+  /// field is prepended (an existing "version" member is overridden).
+  /// Taken by value — move it in; large sweep documents are stamped in
+  /// place, not cloned. Logs "[json] path" to `log`; throws
+  /// std::runtime_error on I/O failure.
   std::string write_json(const std::string& name, util::Json payload,
                          std::ostream& log) const;
 
@@ -87,8 +96,13 @@ util::Json point_json(const PointMeta& meta, const Accumulator& acc,
 /// PointResult conveniences for the sweep subcommand.
 PointMeta point_meta(const PointResult& point);
 /// The sweep report document: {kind, spec echo, points[]} (version is
-/// prepended by Report::write_json).
+/// prepended by Report::write_json). When `quarantined` is non-null and
+/// non-empty, a "quarantined" array records every poisoned task's grid
+/// coordinate and error — the sweep completed around them, and the
+/// document says so instead of silently thinning the statistics.
 util::Json sweep_json(const SweepSpec& spec,
-                      const std::vector<PointResult>& results, bool timing);
+                      const std::vector<PointResult>& results, bool timing,
+                      const std::vector<QuarantinedTask>* quarantined =
+                          nullptr);
 
 }  // namespace radiocast::exp

@@ -243,28 +243,15 @@ std::string manifest_value_to_axis_text(const util::Json& value,
                               "': expected a number, string, or array");
 }
 
-/// JSON doubles only hold integers exactly up to 2^53, but seeds and
-/// round budgets are full uint64s: manifests accept them as numbers OR
-/// strings, and the echo emits a string whenever the number form would
-/// lose precision (so `jq .spec` round-trips exactly).
+/// Seeds and round budgets are full uint64s: manifests accept them as
+/// numbers OR strings, and the echo emits a string whenever the number
+/// form would lose precision (util::json_uint / json_as_uint carry the
+/// same convention into the checkpoint journal).
 std::uint64_t manifest_uint(const util::Json& value, const std::string& key) {
-  if (value.is_string()) {
-    return util::parse_uint(value.as_string(), "manifest '" + key + "'");
-  }
-  const double v = value.as_number();
-  if (v < 0.0 || v != std::floor(v) || v >= 9007199254740992.0 /* 2^53 */) {
-    throw std::invalid_argument(
-        "manifest '" + key + "': " + util::json_number(v) +
-        " is not an exactly-representable non-negative integer (write it "
-        "as a string for values beyond 2^53)");
-  }
-  return static_cast<std::uint64_t>(v);
+  return util::json_as_uint(value, "manifest '" + key + "'");
 }
 
-util::Json uint_json(std::uint64_t v) {
-  if (v < 9007199254740992ull /* 2^53 */) return util::Json(v);
-  return util::Json(std::to_string(v));
-}
+util::Json uint_json(std::uint64_t v) { return util::json_uint(v); }
 
 }  // namespace
 

@@ -1,0 +1,135 @@
+#include "util/fsio.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <utility>
+
+namespace radiocast::util {
+
+namespace {
+
+std::function<bool()> g_io_fault_hook;
+
+std::string errno_message(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+bool injected_fault(std::string& error) {
+  if (g_io_fault_hook && g_io_fault_hook()) {
+    error = "injected I/O fault (RADIOCAST_FAULT)";
+    return true;
+  }
+  return false;
+}
+
+/// Full write loop (::write may be short); false + errno message on error.
+bool write_all(int fd, std::string_view data, std::string& error) {
+  const char* p = data.data();
+  std::size_t left = data.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      error = errno_message("write");
+      return false;
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Best-effort directory fsync so a rename/creation survives a crash too.
+void fsync_parent_dir(const std::string& path) {
+  const std::string dir = std::filesystem::path(path).parent_path().string();
+  const int fd = ::open(dir.empty() ? "." : dir.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  (void)::fsync(fd);
+  (void)::close(fd);
+}
+
+}  // namespace
+
+void set_io_fault_hook(std::function<bool()> hook) {
+  g_io_fault_hook = std::move(hook);
+}
+
+bool atomic_write_file(const std::string& path, std::string_view content,
+                       std::string& error) {
+  if (injected_fault(error)) return false;
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    error = errno_message("open");
+    return false;
+  }
+  const bool wrote = write_all(fd, content, error) && ::fsync(fd) == 0;
+  if (!wrote && error.empty()) error = errno_message("fsync");
+  if (::close(fd) != 0 && wrote) {
+    error = errno_message("close");
+    (void)std::remove(tmp.c_str());
+    return false;
+  }
+  if (!wrote) {
+    (void)std::remove(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    error = errno_message("rename");
+    (void)std::remove(tmp.c_str());
+    return false;
+  }
+  fsync_parent_dir(path);
+  return true;
+}
+
+AppendFile::~AppendFile() { close(); }
+
+bool AppendFile::open(const std::string& path, bool truncate,
+                      std::string& error) {
+  close();
+  const int flags = O_WRONLY | O_CREAT | O_APPEND | (truncate ? O_TRUNC : 0);
+  fd_ = ::open(path.c_str(), flags, 0644);
+  if (fd_ < 0) {
+    error = errno_message("open");
+    return false;
+  }
+  fsync_parent_dir(path);
+  return true;
+}
+
+bool AppendFile::append_fsync(std::string_view data, std::string& error) {
+  if (fd_ < 0) {
+    error = "append on closed file";
+    return false;
+  }
+  if (injected_fault(error)) return false;
+  if (!write_all(fd_, data, error)) return false;
+  if (::fsync(fd_) != 0) {
+    error = errno_message("fsync");
+    return false;
+  }
+  return true;
+}
+
+void AppendFile::append_torn(std::string_view data, std::size_t prefix) {
+  if (fd_ < 0) return;
+  std::string ignored;
+  (void)write_all(fd_, data.substr(0, prefix), ignored);
+  // Deliberately no fsync: the torn bytes may or may not survive, exactly
+  // like a real crash mid-append. Resume must cope either way.
+}
+
+void AppendFile::close() {
+  if (fd_ >= 0) {
+    (void)::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace radiocast::util

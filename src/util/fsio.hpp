@@ -1,0 +1,68 @@
+// Durable file I/O for the crash-safe experiment harness.
+//
+// Two primitives back every file the harness must not lose or tear:
+//   * atomic_write_file — whole-file replace via <path>.tmp + fsync +
+//     rename, so a crash at any instant leaves either the old complete
+//     file or the new complete file, never a half-written one (the
+//     exp::Report CSV/JSON sink).
+//   * AppendFile — an append-only handle whose append_fsync() makes each
+//     record durable before returning (the sweep checkpoint journal).
+//
+// Both consult an optional process-wide fault hook before touching the
+// kernel, so the deterministic fault-injection harness (RADIOCAST_FAULT=
+// io-fail@<n>) can make exactly the n-th write fail without patching
+// syscalls.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace radiocast::util {
+
+/// Deterministic I/O fault seam: when set, every fsio write operation
+/// (atomic_write_file, AppendFile::append_fsync) calls the hook first and
+/// fails as if the kernel returned EIO when it returns true. Install once
+/// before worker threads start (the hook itself may be called
+/// concurrently); pass nullptr to disable.
+void set_io_fault_hook(std::function<bool()> hook);
+
+/// Crash-safe whole-file replace: writes `content` to `<path>.tmp`,
+/// fsyncs it, renames it onto `path`, and fsyncs the parent directory.
+/// Returns false and fills `error` on failure (the .tmp file is cleaned
+/// up best-effort; `path` is never left partially written).
+bool atomic_write_file(const std::string& path, std::string_view content,
+                       std::string& error);
+
+/// Append-only file handle with per-append durability. Non-copyable;
+/// closes on destruction.
+class AppendFile {
+ public:
+  AppendFile() = default;
+  ~AppendFile();
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+
+  /// Opens `path` for appending, creating it; `truncate` starts it empty
+  /// (a fresh journal) instead of keeping existing records. Returns false
+  /// and fills `error` on failure.
+  bool open(const std::string& path, bool truncate, std::string& error);
+  bool is_open() const { return fd_ >= 0; }
+
+  /// Appends `data` and fsyncs: when this returns true the bytes survive
+  /// a crash. Consults the fault hook first. Returns false + `error` on
+  /// (real or injected) failure.
+  bool append_fsync(std::string_view data, std::string& error);
+
+  /// Appends only the first `prefix` bytes of `data` WITHOUT fsync — the
+  /// torn-write crash simulation behind the abort@ fault knob; the caller
+  /// is expected to kill the process right after.
+  void append_torn(std::string_view data, std::size_t prefix);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace radiocast::util

@@ -1,5 +1,7 @@
 #include "util/json.hpp"
 
+#include "util/parse.hpp"
+
 #include <cmath>
 #include <cstdio>
 #include <limits>
@@ -125,6 +127,25 @@ void json_append_escaped(std::string& out, std::string_view s) {
     }
   }
   out += '"';
+}
+
+Json json_uint(std::uint64_t v) {
+  if (v < 9007199254740992ull /* 2^53 */) return Json(v);
+  return Json(std::to_string(v));
+}
+
+std::uint64_t json_as_uint(const Json& value, const std::string& what) {
+  if (value.is_string()) {
+    return parse_uint(value.as_string(), what);
+  }
+  const double v = value.as_number();
+  if (v < 0.0 || v != std::floor(v) || v >= 9007199254740992.0 /* 2^53 */) {
+    throw std::invalid_argument(
+        what + ": " + json_number(v) +
+        " is not an exactly-representable non-negative integer (write it "
+        "as a string for values beyond 2^53)");
+  }
+  return static_cast<std::uint64_t>(v);
 }
 
 std::string json_number(double v) {

@@ -98,4 +98,13 @@ void json_append_escaped(std::string& out, std::string_view s);
 /// precision, "null" for NaN/Inf, no decimal point for safe integers).
 std::string json_number(double v);
 
+/// Exact uint64 <-> Json round trip. JSON doubles only hold integers
+/// exactly up to 2^53, but seeds, round budgets, and phase counters are
+/// full uint64s: json_uint emits a number when that is exact and a
+/// decimal string beyond 2^53; json_as_uint accepts either form and
+/// throws std::invalid_argument (naming `what`) for anything lossy —
+/// negatives, fractions, or numbers at/after 2^53.
+Json json_uint(std::uint64_t v);
+std::uint64_t json_as_uint(const Json& value, const std::string& what);
+
 }  // namespace radiocast::util
