@@ -39,6 +39,7 @@
 #include "exp/planner.hpp"
 #include "exp/report.hpp"
 #include "exp/spec.hpp"
+#include "obs/progress.hpp"
 #include "sim/runner.hpp"
 #include "sim/scenario.hpp"
 #include "util/parse.hpp"
@@ -90,9 +91,24 @@ RADIOCAST_SCENARIO(sweep, "sweep",
     options.retries = static_cast<int>(
         util::parse_uint(ctx.cli.get_string("retries", ""), "--retries"));
   }
-  const exp::Planner planner{options};
+  const std::vector<exp::TaskRef> tasks = exp::flatten_tasks(jobs);
+  const std::size_t task_count = tasks.size();
 
-  const std::size_t task_count = exp::flatten_tasks(jobs).size();
+  // Live heartbeat on stderr: default auto = only when stderr is a TTY
+  // (CI logs stay clean). Purely observational — never touches reports.
+  const std::string progress_mode =
+      ctx.cli.get_choice("progress", "auto", {"auto", "on", "off"});
+  std::unique_ptr<obs::ProgressMeter> progress;
+  if (progress_mode == "on" ||
+      (progress_mode == "auto" && obs::ProgressMeter::stderr_is_tty())) {
+    std::uint64_t total_reps = 0;
+    for (const exp::TaskRef& task : tasks) {
+      total_reps += static_cast<std::uint64_t>(task.count);
+    }
+    progress = std::make_unique<obs::ProgressMeter>(task_count, total_reps);
+    options.progress = progress.get();
+  }
+  const exp::Planner planner{options};
   const bool checkpointing = ctx.cli.get_bool("checkpoint", true);
   std::unique_ptr<exp::Checkpoint> checkpoint;
   if (resuming) {
@@ -113,6 +129,7 @@ RADIOCAST_SCENARIO(sweep, "sweep",
 
   exp::RunOutcome outcome =
       planner.run_durable(jobs, ctx.runner, checkpoint.get());
+  if (progress != nullptr) progress->finish();
 
   if (outcome.interrupted) {
     const std::size_t done = outcome.tasks_replayed + outcome.tasks_run;

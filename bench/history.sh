@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# history.sh — summarize the cross-PR perf trajectory.
+#
+# Reads BENCH_history.jsonl (one line per `bench/trend.sh --append` run)
+# and prints a date/revision table of the four headline metrics, plus the
+# delta of the latest full-mode run against the previous one.
+#
+# Usage:
+#   bench/history.sh [--file FILE] [--last N]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+history_file="${repo_root}/BENCH_history.jsonl"
+last=0
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --file) history_file="$2"; shift ;;
+    --last) last="$2"; shift ;;
+    *) echo "history.sh: unknown flag $1" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+if [[ ! -s "${history_file}" ]]; then
+  echo "history.sh: no history at ${history_file}" >&2
+  echo "            record a run first: bench/trend.sh --append" >&2
+  exit 2
+fi
+if ! command -v jq >/dev/null 2>&1; then
+  echo "history.sh: jq is required" >&2
+  exit 2
+fi
+
+rows="$(cat "${history_file}")"
+if [[ "${last}" -gt 0 ]]; then
+  rows="$(tail -n "${last}" "${history_file}")"
+fi
+
+printf '%-20s %-9s %-5s %5s %9s %9s %9s %9s\n' \
+  date rev mode cores batch tail fold shard
+echo "${rows}" | jq -r '
+  [.date, .rev, .mode, (.cores // "?"),
+   (.batch_reps_speedup // "-"), (.sparse_tail_speedup // "-"),
+   (.fold_layout_speedup // "-"), (.sharded_scaling_w4 // "-")]
+  | @tsv' |
+while IFS=$'\t' read -r date rev mode cores batch tail_sp fold shard; do
+  printf '%-20s %-9s %-5s %5s %9s %9s %9s %9s\n' \
+    "${date}" "${rev}" "${mode}" "${cores}" \
+    "${batch}" "${tail_sp}" "${fold}" "${shard}"
+done
+
+# Delta of the two most recent full-mode runs (quick runs are sized
+# differently, so comparing them to full runs would mislead).
+full="$(jq -c 'select(.mode == "full")' "${history_file}" | tail -n 2)"
+if [[ "$(echo "${full}" | grep -c . || true)" -eq 2 ]]; then
+  echo
+  echo "latest full-mode delta (vs previous full run):"
+  echo "${full}" | jq -s -r '
+    .[0] as $a | .[1] as $b |
+    ["batch_reps_speedup", "sparse_tail_speedup",
+     "fold_layout_speedup", "sharded_scaling_w4"][] as $k |
+    if ($a[$k] != null and $b[$k] != null and $a[$k] != 0) then
+      "  \($k): \($a[$k]) -> \($b[$k])  (\(
+        (($b[$k] / $a[$k] - 1) * 1000 | round) / 10)%)"
+    else
+      "  \($k): \($a[$k] // "-") -> \($b[$k] // "-")"
+    end'
+fi

@@ -19,6 +19,7 @@
 
 #include "exp/checkpoint.hpp"
 #include "exp/fault.hpp"
+#include "obs/trace.hpp"
 #include "radio/medium.hpp"
 #include "sim/runner.hpp"
 #include "sim/scenario.hpp"
@@ -78,6 +79,15 @@ void print_usage(const char* program) {
       << "                 changes generated graphs, only build speed)\n"
       << "  --out=DIR      CSV/JSON output directory (default bench_out;\n"
       << "                 empty string disables file output)\n"
+      << "\n"
+      << "observability (see README \"Observability\"):\n"
+      << "  --trace=FILE   write a Chrome-trace JSON of the run to FILE\n"
+      << "                 (open in ui.perfetto.dev or chrome://tracing;\n"
+      << "                 the RADIOCAST_TRACE env var is the same knob).\n"
+      << "                 Never changes CSV/JSON report bytes\n"
+      << "  --progress=auto|on|off\n"
+      << "                 live one-line sweep heartbeat on stderr\n"
+      << "                 (default auto = only when stderr is a TTY)\n"
       << "\n"
       << "sweep subcommand (declarative experiment grids; axes accept\n"
       << "comma lists and lin:lo..hi:k / geom:lo..hi:k ranges):\n"
@@ -192,15 +202,48 @@ int main(int argc, char** argv) {
           "--resume requires the output directory of the interrupted sweep");
     }
     if (cli.has("out")) ctx.out_dir = cli.get_string("out", "bench_out");
-    const auto start = std::chrono::steady_clock::now();
-    registry.run(cli.subcommand(), ctx);
-    const double wall_ms =
-        std::chrono::duration<double, std::milli>(
-            std::chrono::steady_clock::now() - start)
-            .count();
-    // The per-replication perf-trajectory JSON (scenarios that recorded
-    // nothing skip it); the Report sink logs the "[json] path" line.
-    (void)ctx.write_json(cli.subcommand(), wall_ms);
+
+    // --trace=FILE (or RADIOCAST_TRACE) records the whole run as a
+    // Chrome-trace JSON. Purely observational: reports are byte-identical
+    // with tracing on or off (pinned by test_obs and CI).
+    std::string trace_path = cli.get_string("trace", "");
+    if (trace_path.empty()) {
+      if (const char* env = std::getenv("RADIOCAST_TRACE");
+          env != nullptr && *env != '\0') {
+        trace_path = env;
+      }
+    }
+    if (!trace_path.empty()) {
+      radiocast::obs::TraceSession::global().start(trace_path);
+    }
+    const auto flush_trace = [] {
+      auto& session = radiocast::obs::TraceSession::global();
+      if (!session.active()) return;
+      const std::string written = session.stop_and_flush();
+      if (!written.empty()) std::cerr << "[trace] " << written << "\n";
+      if (session.dropped() > 0) {
+        std::cerr << "[trace] " << session.dropped()
+                  << " events dropped (ring buffers full)\n";
+      }
+    };
+
+    try {
+      const auto start = std::chrono::steady_clock::now();
+      registry.run(cli.subcommand(), ctx);
+      const double wall_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      // The per-replication perf-trajectory JSON (scenarios that recorded
+      // nothing skip it); the Report sink logs the "[json] path" line.
+      (void)ctx.write_json(cli.subcommand(), wall_ms);
+    } catch (...) {
+      // An interrupted or failed run still flushes the partial trace —
+      // that is exactly the run someone wants to look at.
+      flush_trace();
+      throw;
+    }
+    flush_trace();
     return 0;
   } catch (const radiocast::exp::ResumableInterrupt& e) {
     std::cerr << "interrupted: " << e.what() << "\n";

@@ -12,23 +12,29 @@
 #                         enforced only on hosts with >= 4 cores)
 #
 # Usage:
-#   bench/trend.sh [--quick] [--strict] [--bench BIN] [--out DIR]
+#   bench/trend.sh [--quick] [--strict] [--append] [--bench BIN] [--out DIR]
 #
 # --quick   smoke-sized sweeps (bars are calibrated for full mode; quick
 #           results are reported but never enforced)
 # --strict  exit 1 when an enforced bar is missed (default: warn only)
+# --append  also append one compact JSON line to <repo>/BENCH_history.jsonl
+#           (date, git revision, mode, cores, the four metrics) — the
+#           cross-PR perf trajectory; summarize it with bench/history.sh
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 bench_bin="${repo_root}/build/radiocast_bench"
 out_dir="${repo_root}/bench_out"
+history_file="${repo_root}/BENCH_history.jsonl"
 quick=0
 strict=0
+append=0
 
 while [[ $# -gt 0 ]]; do
   case "$1" in
     --quick) quick=1 ;;
     --strict) strict=1 ;;
+    --append) append=1 ;;
     --bench) bench_bin="$2"; shift ;;
     --out) out_dir="$2"; shift ;;
     *) echo "trend.sh: unknown flag $1" >&2; exit 2 ;;
@@ -84,6 +90,17 @@ cat > "${out_dir}/trend.json" <<EOF
 EOF
 echo
 echo "[trend] ${out_dir}/trend.json"
+
+if [[ ${append} -eq 1 ]]; then
+  rev=$(git -C "${repo_root}" rev-parse --short HEAD 2>/dev/null || echo unknown)
+  # A metric the CSVs did not produce is "nan" — valid JSON needs null.
+  jnum() { if [[ "$1" == "nan" ]]; then echo null; else echo "$1"; fi; }
+  printf '{"date":"%s","rev":"%s","mode":"%s","cores":%s,"batch_reps_speedup":%s,"sparse_tail_speedup":%s,"fold_layout_speedup":%s,"sharded_scaling_w4":%s}\n' \
+    "$(date -u +%Y-%m-%dT%H:%M:%SZ)" "${rev}" "${mode}" "${cores}" \
+    "$(jnum "${batch}")" "$(jnum "${tail_sp}")" "$(jnum "${fold}")" \
+    "$(jnum "${scale}")" >> "${history_file}"
+  echo "[trend] appended to ${history_file}"
+fi
 
 fail=0
 check() {

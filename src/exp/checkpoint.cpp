@@ -10,6 +10,7 @@
 #include <atomic>
 
 #include "exp/fault.hpp"
+#include "obs/trace.hpp"
 #include "util/json.hpp"
 
 namespace radiocast::exp {
@@ -43,7 +44,11 @@ void clear_shutdown() { g_shutdown.store(false); }
 
 namespace {
 
-constexpr int kJournalVersion = 1;
+// v2: the positional phases array grew the work-stealing pool counters
+// (steal_attempts, steals, idle_ns). Version mismatches reject loudly —
+// a journal is transient state, never migrated in place.
+constexpr int kJournalVersion = 2;
+constexpr std::size_t kPhaseCounters = 13;
 
 std::uint64_t fnv1a64(std::string_view text) {
   std::uint64_t hash = 0xcbf29ce484222325ull;
@@ -89,12 +94,14 @@ util::Json outcome_to_json(std::size_t task, const TaskOutcome& out) {
   j.set("gen_ns", util::json_uint(out.gen_ns));
   j.set("wall_ms", util::Json(out.wall_ms));
   util::Json phases = util::Json::array();
-  const std::uint64_t counters[] = {
+  const std::uint64_t counters[kPhaseCounters] = {
       out.phases.traverse_ns,  out.phases.output_ns,
       out.phases.recover_ns,   out.phases.enqueue_ns,
       out.phases.drain_ns,     out.phases.active_listeners,
       out.phases.rounds,       out.phases.rowscan_rounds,
-      out.phases.idplane_rounds, out.phases.constfold_rounds};
+      out.phases.idplane_rounds, out.phases.constfold_rounds,
+      out.phases.steal_attempts, out.phases.steals,
+      out.phases.idle_ns};
   for (const std::uint64_t c : counters) phases.push_back(util::json_uint(c));
   j.set("phases", std::move(phases));
   util::Json lanes = util::Json::array();
@@ -127,16 +134,18 @@ TaskOutcome outcome_from_json(const util::Json& j, std::size_t& task) {
   out.gen_ns = util::json_as_uint(field(j, "gen_ns"), "gen_ns");
   out.wall_ms = field(j, "wall_ms").as_number();
   const util::Json& phases = field(j, "phases");
-  if (!phases.is_array() || phases.items().size() != 10) {
+  if (!phases.is_array() || phases.items().size() != kPhaseCounters) {
     throw std::invalid_argument("bad phases array");
   }
-  std::uint64_t* counters[] = {
+  std::uint64_t* counters[kPhaseCounters] = {
       &out.phases.traverse_ns,  &out.phases.output_ns,
       &out.phases.recover_ns,   &out.phases.enqueue_ns,
       &out.phases.drain_ns,     &out.phases.active_listeners,
       &out.phases.rounds,       &out.phases.rowscan_rounds,
-      &out.phases.idplane_rounds, &out.phases.constfold_rounds};
-  for (std::size_t i = 0; i < 10; ++i) {
+      &out.phases.idplane_rounds, &out.phases.constfold_rounds,
+      &out.phases.steal_attempts, &out.phases.steals,
+      &out.phases.idle_ns};
+  for (std::size_t i = 0; i < kPhaseCounters; ++i) {
     *counters[i] = util::json_as_uint(phases.items()[i], "phase counter");
   }
   for (const util::Json& row : field(j, "lanes").items()) {
@@ -271,7 +280,9 @@ std::unique_ptr<Checkpoint> Checkpoint::resume(const std::string& dir,
         if (field(doc, "kind").as_string() != "sweep-journal" ||
             util::json_as_uint(field(doc, "version"), "version") !=
                 static_cast<std::uint64_t>(kJournalVersion)) {
-          throw std::invalid_argument("not a version-1 sweep journal");
+          throw std::invalid_argument(
+              "not a version-" + std::to_string(kJournalVersion) +
+              " sweep journal");
         }
         if (field(doc, "fingerprint").as_string() != spec_fingerprint(spec)) {
           throw std::runtime_error(
@@ -325,8 +336,12 @@ void Checkpoint::record(std::size_t task, const TaskOutcome& outcome) {
     std::_Exit(kFaultAbortExit);
   }
   std::string error;
-  if (!file_.append_fsync(line, error)) {
-    throw std::runtime_error("checkpoint: journal append failed: " + error);
+  {
+    const obs::TraceSpan span("journal.fsync", "task", task, "bytes",
+                              line.size());
+    if (!file_.append_fsync(line, error)) {
+      throw std::runtime_error("checkpoint: journal append failed: " + error);
+    }
   }
   if (task < replayed_.size()) replayed_[task] = outcome;
   if (faults.kill_after_task(task)) {

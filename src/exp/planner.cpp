@@ -14,6 +14,9 @@
 
 #include "exp/checkpoint.hpp"
 #include "exp/fault.hpp"
+#include "obs/metrics.hpp"
+#include "obs/progress.hpp"
+#include "obs/trace.hpp"
 
 #include "core/broadcast.hpp"
 #include "core/compete_batched.hpp"
@@ -351,6 +354,10 @@ TaskOutcome attempt_task(const Job& job, const TaskRef& task,
     return future.get();
   }
   worker.detach();
+  obs::trace_instant("sweep.watchdog_fire");
+  static obs::Counter& watchdog_fires =
+      obs::Metrics::global().counter("sweep.watchdog_fires");
+  watchdog_fires.add();
   throw std::runtime_error("watchdog: task attempt still running after " +
                            std::to_string(timeout_ms) + "ms");
 }
@@ -373,10 +380,18 @@ TaskOutcome execute_guarded(const Job& job, const TaskRef& task,
       throw;
     } catch (const std::exception& e) {
       if (attempt < options.retries) {
+        obs::trace_instant("sweep.retry");
+        static obs::Counter& retries =
+            obs::Metrics::global().counter("sweep.retries");
+        retries.add();
         std::this_thread::sleep_for(std::chrono::milliseconds(
             std::min(1000, 25 << std::min(attempt, 5))));
         continue;
       }
+      obs::trace_instant("sweep.quarantine");
+      static obs::Counter& quarantined =
+          obs::Metrics::global().counter("sweep.quarantined");
+      quarantined.add();
       TaskOutcome out;
       out.quarantined = true;
       out.error = e.what();
@@ -466,12 +481,17 @@ RunOutcome Planner::run_durable(std::span<const Job> jobs,
     auto builds = runner.map(static_cast<int>(to_build.size()), [&](int b) {
       const auto inst = static_cast<std::size_t>(
           to_build[static_cast<std::size_t>(b)]);
+      const obs::TraceSpan span("sweep.build_instance", "instance", inst);
       const std::uint64_t g0 = now_ns();
       auto instance = std::make_shared<const sim::Instance>(build_instance(
           jobs[static_cast<std::size_t>(
               representative[inst])],
           options_.gen_threads));
-      return BuiltInstance{std::move(instance), now_ns() - g0};
+      const std::uint64_t gen_ns = now_ns() - g0;
+      static obs::Histogram& gen_hist =
+          obs::Metrics::global().histogram("sweep.instance_gen_ns");
+      gen_hist.record(gen_ns);
+      return BuiltInstance{std::move(instance), gen_ns};
     });
     for (std::size_t b = 0; b < to_build.size(); ++b) {
       built[static_cast<std::size_t>(to_build[b])] = std::move(builds[b]);
@@ -492,6 +512,16 @@ RunOutcome Planner::run_durable(std::span<const Job> jobs,
   for (std::size_t t = 0; t < tasks.size(); ++t) {
     if (pending[t] != 0) pending_list.push_back(static_cast<int>(t));
   }
+  if (options_.progress != nullptr) {
+    std::uint64_t replayed_reps = 0;
+    for (std::size_t t = 0; t < tasks.size(); ++t) {
+      if (pending[t] == 0) {
+        replayed_reps += static_cast<std::uint64_t>(tasks[t].count);
+      }
+    }
+    options_.progress->add_replayed(tasks.size() - pending_list.size(),
+                                    replayed_reps);
+  }
   auto executed = runner.map(
       static_cast<int>(pending_list.size()),
       [&](int i) -> std::optional<TaskOutcome> {
@@ -499,15 +529,29 @@ RunOutcome Planner::run_durable(std::span<const Job> jobs,
             pending_list[static_cast<std::size_t>(i)]);
         if (shutdown_requested()) return std::nullopt;
         const TaskRef& task = tasks[t];
+        const obs::TraceSpan span("sweep.task", "task", t, "job",
+                                  static_cast<std::uint64_t>(task.job));
         std::shared_ptr<const sim::Instance> shared =
             options_.cache ? built[static_cast<std::size_t>(job_instance[
                                  static_cast<std::size_t>(task.job)])]
                                  .instance
                            : nullptr;
+        const bool cache_hit = shared != nullptr;
         TaskOutcome out = execute_guarded(
             jobs[static_cast<std::size_t>(task.job)], task, shared, options_,
             t);
+        if (!out.quarantined) {
+          static obs::Histogram& wall_hist =
+              obs::Metrics::global().histogram("sweep.task_wall_ms");
+          wall_hist.record(static_cast<std::uint64_t>(
+              std::max(0.0, out.wall_ms)));
+        }
         if (checkpoint != nullptr) checkpoint->record(t, out);
+        if (options_.progress != nullptr) {
+          options_.progress->task_done(
+              static_cast<std::uint64_t>(task.count), cache_hit,
+              out.quarantined);
+        }
         return out;
       });
   for (std::size_t i = 0; i < pending_list.size(); ++i) {

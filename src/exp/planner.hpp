@@ -31,6 +31,10 @@ namespace radiocast::sim {
 class Runner;
 }
 
+namespace radiocast::obs {
+class ProgressMeter;
+}
+
 namespace radiocast::exp {
 
 class Checkpoint;
@@ -164,6 +168,10 @@ class Planner {
     /// exponential backoff. Config errors (std::invalid_argument /
     /// std::logic_error) are never retried — they rethrow immediately.
     int retries = 0;
+    /// Live heartbeat sink (nullable). run_durable ticks it once per task
+    /// — replayed tasks up front, live tasks as they complete. Purely
+    /// observational: never touches outcomes or report bytes.
+    obs::ProgressMeter* progress = nullptr;
   };
 
   Planner() = default;

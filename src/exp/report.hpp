@@ -29,7 +29,12 @@ namespace radiocast::exp {
 /// v2: timing blocks gained the event-driven frontier backend's counters
 /// (enqueue_ns, drain_ns, active_listeners); per-replication rows gained
 /// active_listeners.
-inline constexpr int kSchemaVersion = 2;
+/// v3: timing blocks gained the work-stealing pool counters
+/// (steal_attempts, steals, idle_ns); timing-enabled sweep documents
+/// gained the grid-wide "pool" rollup and the obs::Metrics "metrics"
+/// snapshot. --timing=off output is unchanged from v2 except the version
+/// stamp.
+inline constexpr int kSchemaVersion = 3;
 
 class Report {
  public:

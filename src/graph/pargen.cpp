@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "graph/algorithms.hpp"
+#include "obs/trace.hpp"
 #include "util/parse.hpp"
 #include "util/rng.hpp"
 
@@ -53,17 +54,26 @@ void chunk_range(std::uint64_t domain, int chunks, int c, std::uint64_t& lo,
 void run_chunks(int chunks, int threads, const std::function<void(int)>& fn) {
   threads = std::min(threads, chunks);
   if (threads <= 1) {
-    for (int c = 0; c < chunks; ++c) fn(c);
+    for (int c = 0; c < chunks; ++c) {
+      const obs::TraceSpan span("pargen.chunk", "chunk",
+                                static_cast<std::uint64_t>(c));
+      fn(c);
+    }
     return;
   }
   std::atomic<int> next{0};
   std::exception_ptr error;
   std::atomic<bool> failed{false};
   std::mutex error_mutex;
-  auto worker = [&] {
+  auto worker = [&](int w) {
+    if (obs::tracing_enabled()) {
+      obs::set_thread_name(("pargen-worker-" + std::to_string(w)).c_str());
+    }
     while (!failed.load(std::memory_order_relaxed)) {
       const int c = next.fetch_add(1, std::memory_order_relaxed);
       if (c >= chunks) return;
+      const obs::TraceSpan span("pargen.chunk", "chunk",
+                                static_cast<std::uint64_t>(c));
       try {
         fn(c);
       } catch (...) {
@@ -76,7 +86,7 @@ void run_chunks(int chunks, int threads, const std::function<void(int)>& fn) {
   };
   std::vector<std::thread> pool;
   pool.reserve(static_cast<std::size_t>(threads));
-  for (int t = 0; t < threads; ++t) pool.emplace_back(worker);
+  for (int t = 0; t < threads; ++t) pool.emplace_back(worker, t);
   for (std::thread& t : pool) t.join();
   if (error) std::rethrow_exception(error);
 }

@@ -1,0 +1,130 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace radiocast::obs {
+
+namespace {
+
+// The registry's backing store. std::map keeps names sorted (snapshot
+// order) and node-based storage keeps instrument addresses stable across
+// registrations; unique_ptr double-insulates against any future container
+// change. Guarded by g_metrics_mu — hot sites hoist the returned reference
+// so this lock is off every fast path.
+std::mutex g_metrics_mu;
+std::map<std::string, std::unique_ptr<Counter>, std::less<>> g_counters;
+std::map<std::string, std::unique_ptr<Gauge>, std::less<>> g_gauges;
+std::map<std::string, std::unique_ptr<Histogram>, std::less<>> g_histograms;
+
+template <typename T>
+T& lookup(std::map<std::string, std::unique_ptr<T>, std::less<>>& reg,
+          std::string_view name) {
+  std::lock_guard<std::mutex> lock(g_metrics_mu);
+  auto it = reg.find(name);
+  if (it == reg.end()) {
+    it = reg.emplace(std::string(name), std::make_unique<T>()).first;
+  }
+  return *it->second;
+}
+
+util::Json histogram_json(const Histogram& h) {
+  const std::uint64_t count = h.count();
+  util::Json j = util::Json::object();
+  j.set("count", util::json_uint(count));
+  j.set("sum", util::json_uint(h.sum()));
+  j.set("mean", count == 0 ? 0.0
+                           : static_cast<double>(h.sum()) /
+                                 static_cast<double>(count));
+  j.set("p50", util::json_uint(h.percentile(0.50)));
+  j.set("p90", util::json_uint(h.percentile(0.90)));
+  j.set("p99", util::json_uint(h.percentile(0.99)));
+  util::Json buckets = util::Json::array();
+  for (int b = 0; b < Histogram::kBuckets; ++b) {
+    if (h.bucket(b) == 0) continue;
+    util::Json pair = util::Json::array();
+    pair.push_back(util::json_uint(Histogram::bucket_max(b)));
+    pair.push_back(util::json_uint(h.bucket(b)));
+    buckets.push_back(std::move(pair));
+  }
+  j.set("buckets", std::move(buckets));
+  return j;
+}
+
+}  // namespace
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t Histogram::percentile(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) return 0;
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += bucket(b);
+    if (seen >= std::max<std::uint64_t>(target, 1)) return bucket_max(b);
+  }
+  return bucket_max(kBuckets - 1);
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+Metrics& Metrics::global() {
+  static Metrics metrics;
+  return metrics;
+}
+
+Counter& Metrics::counter(std::string_view name) {
+  return lookup(g_counters, name);
+}
+
+Gauge& Metrics::gauge(std::string_view name) { return lookup(g_gauges, name); }
+
+Histogram& Metrics::histogram(std::string_view name) {
+  return lookup(g_histograms, name);
+}
+
+util::Json Metrics::snapshot_json() const {
+  std::lock_guard<std::mutex> lock(g_metrics_mu);
+  util::Json j = util::Json::object();
+  util::Json counters = util::Json::object();
+  for (const auto& [name, c] : g_counters) {
+    if (c->value() == 0) continue;
+    counters.set(name, util::json_uint(c->value()));
+  }
+  util::Json gauges = util::Json::object();
+  for (const auto& [name, g] : g_gauges) {
+    if (g->value() == 0) continue;
+    gauges.set(name, util::json_uint(g->value()));
+  }
+  util::Json histograms = util::Json::object();
+  for (const auto& [name, h] : g_histograms) {
+    if (h->count() == 0) continue;
+    histograms.set(name, histogram_json(*h));
+  }
+  j.set("counters", std::move(counters));
+  j.set("gauges", std::move(gauges));
+  j.set("histograms", std::move(histograms));
+  return j;
+}
+
+void Metrics::reset() {
+  std::lock_guard<std::mutex> lock(g_metrics_mu);
+  for (auto& [name, c] : g_counters) c->reset();
+  for (auto& [name, g] : g_gauges) g->reset();
+  for (auto& [name, h] : g_histograms) h->reset();
+}
+
+}  // namespace radiocast::obs

@@ -1,0 +1,106 @@
+#include "obs/progress.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#ifdef _WIN32
+#include <io.h>
+#define RADIOCAST_ISATTY _isatty
+#define RADIOCAST_FILENO _fileno
+#else
+#include <unistd.h>
+#define RADIOCAST_ISATTY isatty
+#define RADIOCAST_FILENO fileno
+#endif
+
+namespace radiocast::obs {
+
+namespace {
+
+constexpr std::uint64_t kRedrawIntervalNs = 200'000'000;  // 5 Hz
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+std::string format_eta(double seconds) {
+  if (seconds < 0 || seconds > 86400.0 * 30) return "?";
+  const auto s = static_cast<std::uint64_t>(seconds + 0.5);
+  if (s < 120) return std::to_string(s) + "s";
+  return std::to_string(s / 60) + "m" + std::to_string(s % 60) + "s";
+}
+
+}  // namespace
+
+ProgressMeter::ProgressMeter(std::size_t total_tasks,
+                             std::uint64_t total_reps)
+    : total_tasks_(total_tasks),
+      total_reps_(total_reps),
+      start_ns_(steady_ns()) {}
+
+ProgressMeter::~ProgressMeter() { finish(); }
+
+void ProgressMeter::add_replayed(std::size_t tasks, std::uint64_t reps) {
+  std::lock_guard<std::mutex> lock(mu_);
+  done_tasks_ += tasks;
+  done_reps_ += reps;
+  if (tasks > 0) draw(false);
+}
+
+void ProgressMeter::task_done(std::uint64_t reps, bool cache_hit,
+                              bool quarantined) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finished_) return;
+  ++done_tasks_;
+  done_reps_ += reps;
+  live_reps_ += reps;
+  if (cache_hit) ++cache_hits_;
+  if (quarantined) ++quarantined_;
+  const std::uint64_t now = steady_ns();
+  if (now - last_draw_ns_ >= kRedrawIntervalNs ||
+      done_tasks_ == total_tasks_) {
+    draw(false);
+  }
+}
+
+void ProgressMeter::finish() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (finished_) return;
+  finished_ = true;
+  draw(true);
+}
+
+bool ProgressMeter::stderr_is_tty() {
+  return RADIOCAST_ISATTY(RADIOCAST_FILENO(stderr)) != 0;
+}
+
+void ProgressMeter::draw(bool final_line) {
+  last_draw_ns_ = steady_ns();
+  const double elapsed_s =
+      static_cast<double>(last_draw_ns_ - start_ns_) * 1e-9;
+  const double rate =
+      elapsed_s > 1e-9 ? static_cast<double>(live_reps_) / elapsed_s : 0.0;
+  std::string eta = "?";
+  if (rate > 1e-9 && total_reps_ >= done_reps_) {
+    eta = format_eta(static_cast<double>(total_reps_ - done_reps_) / rate);
+  }
+  char line[160];
+  std::snprintf(line, sizeof line,
+                "[sweep] %zu/%zu tasks | %llu/%llu reps | %.0f reps/s | "
+                "eta %s | cache %llu | quarantined %llu",
+                done_tasks_, total_tasks_,
+                static_cast<unsigned long long>(done_reps_),
+                static_cast<unsigned long long>(total_reps_), rate,
+                eta.c_str(), static_cast<unsigned long long>(cache_hits_),
+                static_cast<unsigned long long>(quarantined_));
+  // Pad over any longer previous line, rewrite in place; the final draw
+  // moves to a fresh line so later stderr output starts clean.
+  std::fprintf(stderr, "\r%-110s%s", line, final_line ? "\n" : "");
+  std::fflush(stderr);
+}
+
+}  // namespace radiocast::obs

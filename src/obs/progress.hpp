@@ -1,0 +1,58 @@
+// Rate-limited single-line live progress/ETA heartbeat on stderr.
+//
+// The sweep Planner ticks a ProgressMeter after every durable task; the
+// meter redraws one `\r`-rewritten stderr line at most ~5x per second with
+// tasks done/total, replication throughput, an ETA, cache hits, and the
+// quarantine count. stderr only — stdout stays the machine-readable
+// channel, and reports are untouched. Construction is the opt-in: the
+// sweep scenario only builds one when the heartbeat should run (stderr is
+// a TTY and --progress is not "off", or --progress=on forces it).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+namespace radiocast::obs {
+
+class ProgressMeter {
+ public:
+  /// `total_tasks` / `total_reps`: the whole sweep, including tasks a
+  /// resume will replay from the journal.
+  ProgressMeter(std::size_t total_tasks, std::uint64_t total_reps);
+  ~ProgressMeter();
+  ProgressMeter(const ProgressMeter&) = delete;
+  ProgressMeter& operator=(const ProgressMeter&) = delete;
+
+  /// Tasks satisfied by journal replay before live execution starts.
+  /// Counted as done but excluded from the live reps/s rate.
+  void add_replayed(std::size_t tasks, std::uint64_t reps);
+
+  /// One task finished live. Thread-safe (Planner workers call it
+  /// concurrently); redraws only when the rate limit allows.
+  void task_done(std::uint64_t reps, bool cache_hit, bool quarantined);
+
+  /// Draws the final state and moves to a fresh line. Idempotent; the
+  /// destructor calls it as a backstop.
+  void finish();
+
+  /// Whether stderr is an interactive terminal (the --progress=auto test).
+  static bool stderr_is_tty();
+
+ private:
+  void draw(bool final_line);
+
+  std::mutex mu_;
+  std::size_t total_tasks_;
+  std::uint64_t total_reps_;
+  std::size_t done_tasks_ = 0;
+  std::uint64_t done_reps_ = 0;
+  std::uint64_t live_reps_ = 0;
+  std::uint64_t cache_hits_ = 0;
+  std::uint64_t quarantined_ = 0;
+  std::uint64_t start_ns_;
+  std::uint64_t last_draw_ns_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace radiocast::obs

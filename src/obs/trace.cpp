@@ -1,0 +1,272 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace radiocast::obs {
+
+namespace detail {
+std::atomic<bool> g_trace_enabled{false};
+}  // namespace detail
+
+namespace {
+
+using detail::g_trace_enabled;
+
+struct Event {
+  const char* name;
+  const char* arg1;
+  const char* arg2;
+  std::uint64_t ts_ns;
+  std::uint64_t dur_ns;
+  std::uint64_t v1;
+  std::uint64_t v2;
+  char phase;  // 'X' complete, 'i' instant, 'C' counter
+};
+
+// One thread's ring. The owning thread is the only writer; the flusher
+// reads under the same mutex, so the lock is uncontended for the entire
+// session (one locked ring write per event — the cost is dominated by the
+// clock read that preceded it). Kept alive by shared_ptr from both the
+// registry and the thread-local slot, so worker threads may exit (or be
+// detached watchdogs) before the flush without dangling.
+struct ThreadBuffer {
+  std::mutex mu;
+  std::vector<Event> ring;
+  std::uint64_t written = 0;  // total records; ring holds the last min(.,cap)
+  std::uint32_t tid = 0;
+  std::string name;
+};
+
+constexpr std::size_t kDefaultRingCapacity = std::size_t{1} << 16;
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// Session state. g_session_gen bumps on every start() so thread-local
+// buffer slots from a previous session re-register instead of writing into
+// flushed rings.
+std::mutex g_registry_mu;
+std::vector<std::shared_ptr<ThreadBuffer>> g_buffers;
+std::string g_path;
+std::size_t g_ring_capacity = kDefaultRingCapacity;
+std::uint64_t g_flushed_dropped = 0;
+std::atomic<std::uint64_t> g_session_gen{0};
+std::atomic<std::uint64_t> g_t0_ns{0};
+
+struct TlsSlot {
+  std::shared_ptr<ThreadBuffer> buf;
+  std::uint64_t gen = 0;
+};
+thread_local TlsSlot t_slot;
+
+// Returns the calling thread's buffer for the current session, registering
+// one on first touch. nullptr when tracing raced off.
+ThreadBuffer* tls_buffer() {
+  const std::uint64_t gen = g_session_gen.load(std::memory_order_acquire);
+  if (t_slot.buf && t_slot.gen == gen) return t_slot.buf.get();
+  std::lock_guard<std::mutex> lock(g_registry_mu);
+  if (!g_trace_enabled.load(std::memory_order_relaxed)) return nullptr;
+  auto buf = std::make_shared<ThreadBuffer>();
+  buf->tid = static_cast<std::uint32_t>(g_buffers.size() + 1);
+  buf->name = "thread-" + std::to_string(buf->tid);
+  buf->ring.resize(g_ring_capacity);
+  g_buffers.push_back(buf);
+  t_slot.buf = std::move(buf);
+  t_slot.gen = gen;
+  return t_slot.buf.get();
+}
+
+void record(const Event& ev) {
+  ThreadBuffer* tb = tls_buffer();
+  if (tb == nullptr) return;
+  std::lock_guard<std::mutex> lock(tb->mu);
+  tb->ring[tb->written % tb->ring.size()] = ev;
+  ++tb->written;
+}
+
+void append_ts_us(std::string& out, std::uint64_t ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%llu.%03llu",
+                static_cast<unsigned long long>(ns / 1000),
+                static_cast<unsigned long long>(ns % 1000));
+  out += buf;
+}
+
+void append_args(std::string& out, const Event& ev) {
+  if (ev.phase == 'C') {
+    out += ",\"args\":{\"value\":";
+    out += std::to_string(ev.v1);
+    out += '}';
+    return;
+  }
+  if (ev.arg1 == nullptr && ev.arg2 == nullptr) return;
+  out += ",\"args\":{";
+  if (ev.arg1 != nullptr) {
+    util::json_append_escaped(out, ev.arg1);
+    out += ':';
+    out += std::to_string(ev.v1);
+  }
+  if (ev.arg2 != nullptr) {
+    if (ev.arg1 != nullptr) out += ',';
+    util::json_append_escaped(out, ev.arg2);
+    out += ':';
+    out += std::to_string(ev.v2);
+  }
+  out += '}';
+}
+
+void append_event_json(std::string& out, std::uint32_t tid, const Event& ev) {
+  out += "{\"ph\":\"";
+  out += ev.phase;
+  out += "\",\"pid\":1,\"tid\":";
+  out += std::to_string(tid);
+  out += ",\"ts\":";
+  append_ts_us(out, ev.ts_ns);
+  if (ev.phase == 'X') {
+    out += ",\"dur\":";
+    append_ts_us(out, ev.dur_ns);
+  }
+  out += ",\"name\":";
+  util::json_append_escaped(out, ev.name);
+  if (ev.phase == 'i') out += ",\"s\":\"t\"";
+  append_args(out, ev);
+  out += "}";
+}
+
+void append_metadata(std::string& out, std::uint32_t tid, const char* kind,
+                     const std::string& name) {
+  out += "{\"ph\":\"M\",\"pid\":1,\"tid\":";
+  out += std::to_string(tid);
+  out += ",\"name\":\"";
+  out += kind;
+  out += "\",\"args\":{\"name\":";
+  util::json_append_escaped(out, name);
+  out += "}}";
+}
+
+}  // namespace
+
+namespace detail {
+
+std::uint64_t session_now_ns() {
+  return steady_ns() - g_t0_ns.load(std::memory_order_relaxed);
+}
+
+void emit_complete(const char* name, std::uint64_t begin_ns, const char* arg1,
+                   std::uint64_t v1, const char* arg2, std::uint64_t v2) {
+  if (!g_trace_enabled.load(std::memory_order_relaxed)) return;
+  const std::uint64_t end_ns = session_now_ns();
+  record(Event{name, arg1, arg2, begin_ns,
+               end_ns >= begin_ns ? end_ns - begin_ns : 0, v1, v2, 'X'});
+}
+
+void emit_event(char phase, const char* name, std::uint64_t value) {
+  record(Event{name, nullptr, nullptr, session_now_ns(), 0, value, 0, phase});
+}
+
+}  // namespace detail
+
+void set_thread_name(const char* name) {
+  if (!tracing_enabled()) return;
+  ThreadBuffer* tb = tls_buffer();
+  if (tb == nullptr) return;
+  std::lock_guard<std::mutex> lock(tb->mu);
+  tb->name = name;
+}
+
+TraceSession& TraceSession::global() {
+  static TraceSession session;
+  return session;
+}
+
+void TraceSession::start(std::string path, std::size_t events_per_thread) {
+  std::lock_guard<std::mutex> lock(g_registry_mu);
+  if (g_trace_enabled.load(std::memory_order_relaxed)) {
+    throw std::runtime_error("trace: a session is already active");
+  }
+  g_path = std::move(path);
+  g_ring_capacity =
+      events_per_thread == 0 ? kDefaultRingCapacity : events_per_thread;
+  g_buffers.clear();
+  g_flushed_dropped = 0;
+  g_t0_ns.store(steady_ns(), std::memory_order_relaxed);
+  g_session_gen.fetch_add(1, std::memory_order_release);
+  g_trace_enabled.store(true, std::memory_order_seq_cst);
+}
+
+std::string TraceSession::stop_and_flush() {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(g_registry_mu);
+    if (!g_trace_enabled.load(std::memory_order_relaxed)) return "";
+    g_trace_enabled.store(false, std::memory_order_seq_cst);
+    buffers.swap(g_buffers);
+    path.swap(g_path);
+  }
+
+  std::string out;
+  out.reserve(std::size_t{1} << 16);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  append_metadata(out, 0, "process_name", "radiocast");
+  std::uint64_t dropped = 0;
+  for (const auto& tb : buffers) {
+    // In-flight spans from threads that started before the disable may
+    // still be emitting; the per-buffer mutex serialises against them.
+    std::lock_guard<std::mutex> lock(tb->mu);
+    out += ",\n";
+    append_metadata(out, tb->tid, "thread_name", tb->name);
+    const std::uint64_t cap = tb->ring.size();
+    const std::uint64_t kept = std::min<std::uint64_t>(tb->written, cap);
+    dropped += tb->written - kept;
+    for (std::uint64_t i = tb->written - kept; i < tb->written; ++i) {
+      out += ",\n";
+      append_event_json(out, tb->tid, tb->ring[i % cap]);
+    }
+  }
+  if (dropped > 0) {
+    out += ",\n";
+    append_event_json(out, 0,
+                      Event{"trace.dropped_events", nullptr, nullptr,
+                            detail::session_now_ns(), 0, dropped, 0, 'C'});
+  }
+  out += "\n]}\n";
+  {
+    std::lock_guard<std::mutex> lock(g_registry_mu);
+    g_flushed_dropped = dropped;
+  }
+
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  file.write(out.data(), static_cast<std::streamsize>(out.size()));
+  file.flush();
+  if (!file.good()) {
+    throw std::runtime_error("trace: failed to write " + path);
+  }
+  return path;
+}
+
+std::uint64_t TraceSession::dropped() const {
+  std::lock_guard<std::mutex> lock(g_registry_mu);
+  std::uint64_t dropped = g_flushed_dropped;
+  for (const auto& tb : g_buffers) {
+    std::lock_guard<std::mutex> buf_lock(tb->mu);
+    const std::uint64_t cap = tb->ring.size();
+    if (tb->written > cap) dropped += tb->written - cap;
+  }
+  return dropped;
+}
+
+}  // namespace radiocast::obs

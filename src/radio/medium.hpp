@@ -143,6 +143,14 @@ struct PhaseTimers {
   /// Rounds where the max-fold proved every transmitter carried one
   /// payload value, so deliveries folded with no sender identification.
   std::uint64_t constfold_rounds = 0;
+  /// Work-stealing pool behaviour (the sharded backend; all zero elsewhere
+  /// and in single-worker mode): steal_back attempts against other
+  /// workers' deques, the subset that claimed a slice, and the cumulative
+  /// ns workers sat finished while the round's slowest worker was still
+  /// running (the load-imbalance tail stealing could not absorb).
+  std::uint64_t steal_attempts = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t idle_ns = 0;
   void reset() { *this = PhaseTimers{}; }
 };
 

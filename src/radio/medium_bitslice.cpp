@@ -4,6 +4,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "radio/simd.hpp"
 
 namespace radiocast::radio {
@@ -169,6 +171,9 @@ void BitsliceMedium::run_core(std::span<const std::uint64_t> tx_mask,
                               std::uint64_t work, BatchOutcome& out,
                               Recover recover, Sink&& sink) {
   const graph::NodeId n = graph_->node_count();
+  const obs::TraceSpan trace_span("bitslice.round", "lanes",
+                                  static_cast<std::uint64_t>(lanes), "work",
+                                  work);
   const std::uint64_t t0 = now_ns();
   const bool dense = 2 * work >= n;
   // When transmitters cover at least half of all adjacency, flip the
@@ -338,6 +343,9 @@ void BitsliceMedium::run_core(std::span<const std::uint64_t> tx_mask,
     }
     timers_.recover_ns += now_ns() - t2;
   }
+  static obs::Histogram& round_hist =
+      obs::Metrics::global().histogram("radio.bitslice.round_ns");
+  round_hist.record(now_ns() - t0);
   ++timers_.rounds;
 }
 

@@ -3,6 +3,9 @@
 #include <bit>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace radiocast::radio {
 
 FrontierMedium::FrontierMedium(const graph::Graph& g, CollisionModel model)
@@ -68,6 +71,8 @@ void FrontierMedium::run_active(std::span<const ActiveTx> tx,
   // Enqueue: scatter each transmitter's lanes over its row, waking
   // first-touched listeners. Lanes a duplicate entry already covered are
   // masked off before the scatter so tallies and saturation stay exact.
+  const obs::TraceSpan trace_span("frontier.round", "tx", tx.size(), "lanes",
+                                  static_cast<std::uint64_t>(lanes));
   const std::uint64_t t0 = now_ns();
   for (const ActiveTx& e : tx) {
     const graph::NodeId u = e.node;
@@ -133,7 +138,10 @@ void FrontierMedium::run_active(std::span<const ActiveTx> tx,
   collided_tally_.extract(out.collided_count, lanes);
   timers_.drain_ns += now_ns() - t1;
 
+  static obs::Histogram& round_hist =
+      obs::Metrics::global().histogram("radio.frontier.round_ns");
   if (mode == FoldMode::kMasksOnly) {
+    round_hist.record(now_ns() - t0);
     ++timers_.rounds;
     return;
   }
@@ -204,6 +212,7 @@ void FrontierMedium::run_active(std::span<const ActiveTx> tx,
     ++timers_.rowscan_rounds;
   }
   timers_.recover_ns += now_ns() - t2;
+  round_hist.record(now_ns() - t0);
   ++timers_.rounds;
 }
 

@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace radiocast::radio {
 
 ScalarMedium::ScalarMedium(const graph::Graph& g, CollisionModel model)
@@ -41,6 +44,7 @@ void ScalarMedium::resolve(std::span<const graph::NodeId> transmitters,
   }
   out.transmitter_count = static_cast<std::uint32_t>(txlist_.size());
 
+  const obs::TraceSpan trace_span("scalar.round", "tx", txlist_.size());
   const std::uint64_t t0 = now_ns();
   const graph::NodeId n = graph_->node_count();
   if (2 * work >= n) {
@@ -51,9 +55,13 @@ void ScalarMedium::resolve(std::span<const graph::NodeId> transmitters,
   // The scalar kernel identifies senders during its traversal, so the
   // whole round is traverse + output with no recovery phase; each path
   // accounts for its own output sweep.
+  const std::uint64_t t_end = now_ns();
   timers_.traverse_ns += output_start_ns_ - t0;
-  timers_.output_ns += now_ns() - output_start_ns_;
+  timers_.output_ns += t_end - output_start_ns_;
   timers_.active_listeners += out.active_listeners;
+  static obs::Histogram& round_hist =
+      obs::Metrics::global().histogram("radio.scalar.round_ns");
+  round_hist.record(t_end - t0);
   ++timers_.rounds;
 }
 

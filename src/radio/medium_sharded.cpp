@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "radio/simd.hpp"
 #include "util/parse.hpp"
 
@@ -136,6 +138,7 @@ ShardedMedium::ShardedMedium(const graph::Graph& g, CollisionModel model,
   if (want > 1) {
     const std::size_t w_count = static_cast<std::size_t>(want);
     ranges_ = std::vector<std::atomic<std::uint64_t>>(w_count);
+    worker_stats_.assign(w_count, {});
     // Victim order: same NUMA group first (slices assigned to nearby
     // workers share memory locality), then the rest — each tier cyclic
     // from the thief's own index so contention spreads.
@@ -213,15 +216,34 @@ void ShardedMedium::worker_loop(std::size_t w) {
     if (stop_) return;
     seen = job_gen_;
     lock.unlock();
-    std::uint32_t idx = 0;
-    // Drain my own deque from the front, then steal from the back of the
-    // other workers' deques. Every slice index is claimed by exactly one
-    // CAS, so each slice runs exactly once regardless of interleaving.
-    while (pop_front(ranges_[w], idx)) run_slice(idx);
-    for (const std::size_t victim : steal_order_[w]) {
-      while (steal_back(ranges_[victim], idx)) run_slice(idx);
+    if (obs::tracing_enabled()) {
+      obs::set_thread_name(
+          ("sharded-worker-" + std::to_string(w)).c_str());
     }
+    std::uint32_t idx = 0;
+    std::uint64_t attempts = 0;
+    std::uint64_t steals = 0;
+    {
+      obs::TraceSpan span("sharded.round", "worker", w, "gen", seen);
+      // Drain my own deque from the front, then steal from the back of the
+      // other workers' deques. Every slice index is claimed by exactly one
+      // CAS, so each slice runs exactly once regardless of interleaving.
+      while (pop_front(ranges_[w], idx)) run_slice(idx);
+      for (const std::size_t victim : steal_order_[w]) {
+        for (;;) {
+          ++attempts;
+          if (!steal_back(ranges_[victim], idx)) break;
+          ++steals;
+          run_slice(idx);
+        }
+      }
+    }
+    const std::uint64_t finish = now_ns();
     lock.lock();
+    WorkerStats& stats = worker_stats_[w];
+    stats.steal_attempts += attempts;
+    stats.steals += steals;
+    stats.finish_ns = finish;
     if (++done_workers_ == workers_.size()) cv_done_.notify_one();
   }
 }
@@ -246,6 +268,23 @@ void ShardedMedium::kick_and_wait() {
   cv_work_.notify_all();
   std::unique_lock<std::mutex> lock(mu_);
   cv_done_.wait(lock, [&] { return done_workers_ == workers_.size(); });
+  // Fold each worker's round accounting into the timers. A worker's idle
+  // tail is the gap between its own finish and the round's last finisher —
+  // the imbalance stealing could not absorb.
+  const std::uint64_t round_end = now_ns();
+  std::uint64_t round_steals = 0;
+  for (WorkerStats& stats : worker_stats_) {
+    timers_.steal_attempts += stats.steal_attempts;
+    timers_.steals += stats.steals;
+    round_steals += stats.steals;
+    if (stats.finish_ns != 0 && round_end > stats.finish_ns) {
+      timers_.idle_ns += round_end - stats.finish_ns;
+    }
+    stats = WorkerStats{};
+  }
+  static obs::Histogram& steals_hist =
+      obs::Metrics::global().histogram("radio.sharded.steals_per_round");
+  steals_hist.record(round_steals);
 }
 
 void ShardedMedium::build_slice_tx() {
@@ -520,6 +559,8 @@ void ShardedMedium::run_batch(std::span<const std::uint64_t> tx_mask,
   out.clear();
   tx_tally_.reset();
 
+  const obs::TraceSpan trace_span("sharded.batch_round", "lanes",
+                                  static_cast<std::uint64_t>(lanes));
   const std::uint64_t t0 = now_ns();
   // Serial prologue: transmitter list, per-lane tallies, the
   // traversal-volume estimate that picks the gather/scatter shape, and —
@@ -592,7 +633,11 @@ void ShardedMedium::run_batch(std::span<const std::uint64_t> tx_mask,
   }
   out.active_listeners = active;
   timers_.active_listeners += active;
-  timers_.output_ns += now_ns() - t1;
+  const std::uint64_t t2 = now_ns();
+  timers_.output_ns += t2 - t1;
+  static obs::Histogram& round_hist =
+      obs::Metrics::global().histogram("radio.sharded.round_ns");
+  round_hist.record(t2 - t0);
   if (mode != FoldMode::kMasksOnly) {
     if (const_fold_) {
       ++timers_.constfold_rounds;
@@ -635,6 +680,8 @@ void ShardedMedium::resolve(std::span<const graph::NodeId> transmitters,
   out.collided_count = 0;
   out.active_listeners = 0;
 
+  const obs::TraceSpan trace_span("sharded.round_scalar", "tx",
+                                  transmitters.size());
   const std::uint64_t t0 = now_ns();
   ++epoch_;
   txlist_.clear();
@@ -673,7 +720,11 @@ void ShardedMedium::resolve(std::span<const graph::NodeId> transmitters,
     out.active_listeners += s.active;
   }
   timers_.active_listeners += out.active_listeners;
-  timers_.output_ns += now_ns() - t1;
+  const std::uint64_t t2 = now_ns();
+  timers_.output_ns += t2 - t1;
+  static obs::Histogram& round_hist =
+      obs::Metrics::global().histogram("radio.sharded.round_ns");
+  round_hist.record(t2 - t0);
   ++timers_.rounds;
 }
 

@@ -190,6 +190,16 @@ class ShardedMedium final : public Medium {
   std::vector<std::atomic<std::uint64_t>> ranges_;
   std::vector<std::vector<std::size_t>> steal_order_;
 
+  // Per-worker steal/finish accounting for one round, written under mu_
+  // when a worker finishes and folded into timers_ (steal_attempts /
+  // steals / idle_ns) by kick_and_wait after the generation completes.
+  struct WorkerStats {
+    std::uint64_t steal_attempts = 0;
+    std::uint64_t steals = 0;
+    std::uint64_t finish_ns = 0;
+  };
+  std::vector<WorkerStats> worker_stats_;
+
   // Pool synchronisation: kick_and_wait bumps job_gen_ and waits until
   // every worker has drained every deque for that generation.
   std::vector<std::thread> workers_;

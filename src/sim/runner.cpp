@@ -5,8 +5,10 @@
 #include <cmath>
 #include <mutex>
 #include <stdexcept>
+#include <string>
 #include <thread>
 
+#include "obs/trace.hpp"
 #include "util/rng.hpp"
 
 namespace radiocast::sim {
@@ -68,10 +70,15 @@ void Runner::run_indexed(int count, const std::function<void(int)>& task) {
   std::atomic<int> next{0};
   std::exception_ptr first_error;
   std::mutex error_mutex;
-  auto worker = [&] {
+  auto worker = [&](int w) {
+    if (obs::tracing_enabled()) {
+      obs::set_thread_name(("runner-worker-" + std::to_string(w)).c_str());
+    }
     for (;;) {
       const int i = next.fetch_add(1, std::memory_order_relaxed);
       if (i >= count) return;
+      const obs::TraceSpan span("runner.task", "index",
+                                static_cast<std::uint64_t>(i));
       try {
         task(i);
       } catch (...) {
@@ -82,7 +89,7 @@ void Runner::run_indexed(int count, const std::function<void(int)>& task) {
   };
   std::vector<std::thread> pool;
   pool.reserve(static_cast<std::size_t>(workers));
-  for (int w = 0; w < workers; ++w) pool.emplace_back(worker);
+  for (int w = 0; w < workers; ++w) pool.emplace_back(worker, w);
   for (auto& t : pool) t.join();
   if (first_error) std::rethrow_exception(first_error);
 }

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "exp/report.hpp"
+#include "obs/metrics.hpp"
 #include "util/parse.hpp"
 #include "util/table.hpp"
 
@@ -107,6 +108,11 @@ std::string ScenarioContext::write_json(const std::string& scenario_name,
     replications.push_back(std::move(row));
   }
   payload.set("replications", std::move(replications));
+  // Timing-ish metadata like everything else in this file; gate it behind
+  // the same flag the sweep reports use so --timing=off stays byte-stable.
+  if (cli.get_bool("timing", true)) {
+    payload.set("metrics", obs::Metrics::global().snapshot_json());
+  }
   // Not via emit_json: this IS the driver's fallback write, and it must
   // not mark the name as scenario-owned.
   return exp::Report(out_dir).write_json(scenario_name, std::move(payload),

@@ -151,6 +151,9 @@ TEST(Checkpoint, JournalRoundTripsExactValues) {
   out.wall_ms = 1.0 / 3.0;        // needs max_digits10 round trip
   out.phases.traverse_ns = (1ull << 55) + 1;
   out.phases.constfold_rounds = 42;
+  out.phases.steal_attempts = 19;
+  out.phases.steals = 6;
+  out.phases.idle_ns = (1ull << 54) + 9;
   LaneOutcome lane;
   lane.success = true;
   lane.rounds = 17.0;
@@ -181,6 +184,9 @@ TEST(Checkpoint, JournalRoundTripsExactValues) {
   EXPECT_EQ(back->wall_ms, 1.0 / 3.0);  // bit-exact, not just near
   EXPECT_EQ(back->phases.traverse_ns, (1ull << 55) + 1);
   EXPECT_EQ(back->phases.constfold_rounds, 42u);
+  EXPECT_EQ(back->phases.steal_attempts, 19u);
+  EXPECT_EQ(back->phases.steals, 6u);
+  EXPECT_EQ(back->phases.idle_ns, (1ull << 54) + 9);
   ASSERT_EQ(back->lanes.size(), 1u);
   EXPECT_TRUE(back->lanes[0].success);
   EXPECT_EQ(back->lanes[0].rounds, 17.0);
